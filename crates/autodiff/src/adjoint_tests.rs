@@ -1,0 +1,376 @@
+//! Systematic VJP verification: every primitive's gradient is checked
+//! against central finite differences through a generic harness.
+//!
+//! For an operation `y = f(x)` and a random weight tensor `w`, the scalar
+//! `L = Σ w ⊙ f(x)` has gradient `∂L/∂x = Jᵀw`; the harness compares the
+//! graph's gradient with `(L(x+he) − L(x−he)) / 2h` for every coordinate.
+//! This pins down the adjoint of each rule individually, complementing the
+//! end-to-end network tests in `finite_diff_tests`.
+
+use crate::{Graph, Var};
+use mf_tensor::{Layout, Tensor};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn random(rng: &mut impl Rng, r: usize, c: usize) -> Tensor {
+    Tensor::from_fn(r, c, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+/// Check `d(Σ w⊙f(x))/dx` against finite differences.
+fn check_unary(
+    name: &str,
+    shape: (usize, usize),
+    seed: u64,
+    build: impl Fn(&mut Graph, Var) -> Var,
+) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let x0 = random(&mut rng, shape.0, shape.1);
+
+    let eval = |x: &Tensor| -> (f64, Option<Tensor>, (usize, usize)) {
+        let mut g = Graph::new();
+        let xv = g.leaf(x.clone());
+        let y = build(&mut g, xv);
+        let (yr, yc) = g.value(y).shape();
+        // Deterministic weights from the output shape.
+        let w = Tensor::from_fn(yr, yc, |r, c| ((r * 31 + c * 7) as f64 * 0.37).sin() + 0.1);
+        let wv = g.constant(w);
+        let p = g.mul(y, wv);
+        let l = g.sum(p);
+        let lv = g.value(l).item();
+        let grad = g.grad(l, &[xv])[0];
+        (lv, Some(g.value(grad).clone()), (yr, yc))
+    };
+
+    let (_, grad, _) = eval(&x0);
+    let grad = grad.unwrap();
+    let h = 1e-6;
+    for r in 0..shape.0 {
+        for c in 0..shape.1 {
+            let mut xp = x0.clone();
+            xp.set(r, c, x0.get(r, c) + h);
+            let mut xm = x0.clone();
+            xm.set(r, c, x0.get(r, c) - h);
+            let fd = (eval(&xp).0 - eval(&xm).0) / (2.0 * h);
+            let an = grad.get(r, c);
+            assert!(
+                (an - fd).abs() < 1e-5 * (1.0 + fd.abs()),
+                "{name}: d/dx[{r},{c}] analytic {an} vs numeric {fd}"
+            );
+        }
+    }
+}
+
+/// Check both operand gradients of a binary op.
+fn check_binary(
+    name: &str,
+    sa: (usize, usize),
+    sb: (usize, usize),
+    seed: u64,
+    build: impl Fn(&mut Graph, Var, Var) -> Var,
+) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let a0 = random(&mut rng, sa.0, sa.1);
+    let b0 = random(&mut rng, sb.0, sb.1);
+
+    let eval = |a: &Tensor, b: &Tensor| -> (f64, Tensor, Tensor) {
+        let mut g = Graph::new();
+        let av = g.leaf(a.clone());
+        let bv = g.leaf(b.clone());
+        let y = build(&mut g, av, bv);
+        let (yr, yc) = g.value(y).shape();
+        let w = Tensor::from_fn(yr, yc, |r, c| ((r * 13 + c * 5) as f64 * 0.53).cos() + 0.2);
+        let wv = g.constant(w);
+        let p = g.mul(y, wv);
+        let l = g.sum(p);
+        let lv = g.value(l).item();
+        let grads = g.grad(l, &[av, bv]);
+        (lv, g.value(grads[0]).clone(), g.value(grads[1]).clone())
+    };
+
+    let (_, ga, gb) = eval(&a0, &b0);
+    let h = 1e-6;
+    for r in 0..sa.0 {
+        for c in 0..sa.1 {
+            let mut ap = a0.clone();
+            ap.set(r, c, a0.get(r, c) + h);
+            let mut am = a0.clone();
+            am.set(r, c, a0.get(r, c) - h);
+            let fd = (eval(&ap, &b0).0 - eval(&am, &b0).0) / (2.0 * h);
+            let an = ga.get(r, c);
+            assert!(
+                (an - fd).abs() < 1e-5 * (1.0 + fd.abs()),
+                "{name}: dA[{r},{c}] analytic {an} vs numeric {fd}"
+            );
+        }
+    }
+    for r in 0..sb.0 {
+        for c in 0..sb.1 {
+            let mut bp = b0.clone();
+            bp.set(r, c, b0.get(r, c) + h);
+            let mut bm = b0.clone();
+            bm.set(r, c, b0.get(r, c) - h);
+            let fd = (eval(&a0, &bp).0 - eval(&a0, &bm).0) / (2.0 * h);
+            let an = gb.get(r, c);
+            assert!(
+                (an - fd).abs() < 1e-5 * (1.0 + fd.abs()),
+                "{name}: dB[{r},{c}] analytic {an} vs numeric {fd}"
+            );
+        }
+    }
+}
+
+#[test]
+fn adjoint_add() {
+    check_binary("add", (3, 4), (3, 4), 1, |g, a, b| g.add(a, b));
+}
+
+#[test]
+fn adjoint_sub() {
+    check_binary("sub", (3, 4), (3, 4), 2, |g, a, b| g.sub(a, b));
+}
+
+#[test]
+fn adjoint_mul() {
+    check_binary("mul", (3, 4), (3, 4), 3, |g, a, b| g.mul(a, b));
+}
+
+#[test]
+fn adjoint_neg() {
+    check_unary("neg", (3, 4), 4, |g, x| g.neg(x));
+}
+
+#[test]
+fn adjoint_scale() {
+    check_unary("scale", (3, 4), 5, |g, x| g.scale(x, -2.3));
+}
+
+#[test]
+fn adjoint_add_scalar() {
+    check_unary("add_scalar", (3, 4), 6, |g, x| g.add_scalar(x, 7.7));
+}
+
+#[test]
+fn adjoint_matmul_nn() {
+    check_binary("matmul NN", (3, 4), (4, 2), 7, |g, a, b| g.matmul(a, b));
+}
+
+#[test]
+fn adjoint_matmul_tn() {
+    check_binary("matmul TN", (4, 3), (4, 2), 8, |g, a, b| {
+        g.matmul_layout(a, Layout::Transposed, b, Layout::Normal)
+    });
+}
+
+#[test]
+fn adjoint_matmul_nt() {
+    check_binary("matmul NT", (3, 4), (2, 4), 9, |g, a, b| {
+        g.matmul_layout(a, Layout::Normal, b, Layout::Transposed)
+    });
+}
+
+#[test]
+fn adjoint_matmul_tt() {
+    check_binary("matmul TT", (4, 3), (2, 4), 10, |g, a, b| {
+        g.matmul_layout(a, Layout::Transposed, b, Layout::Transposed)
+    });
+}
+
+#[test]
+fn adjoint_transpose() {
+    check_unary("transpose", (3, 5), 11, |g, x| g.transpose(x));
+}
+
+#[test]
+fn adjoint_sum() {
+    check_unary("sum", (3, 4), 12, |g, x| g.sum(x));
+}
+
+#[test]
+fn adjoint_mean() {
+    check_unary("mean", (3, 4), 13, |g, x| g.mean(x));
+}
+
+#[test]
+fn adjoint_sum_axis0() {
+    check_unary("sum_axis0", (5, 3), 14, |g, x| g.sum_axis0(x));
+}
+
+#[test]
+fn adjoint_broadcast_rows() {
+    check_unary("broadcast_rows", (1, 4), 15, |g, x| g.broadcast_rows(x, 6));
+}
+
+#[test]
+fn adjoint_broadcast_scalar() {
+    check_unary("broadcast_scalar", (1, 1), 16, |g, x| g.broadcast_scalar(x, 3, 5));
+}
+
+#[test]
+fn adjoint_repeat_rows() {
+    check_unary("repeat_rows", (3, 2), 17, |g, x| g.repeat_rows(x, 4));
+}
+
+#[test]
+fn adjoint_sum_groups() {
+    check_unary("sum_groups", (8, 3), 18, |g, x| g.sum_groups(x, 4));
+}
+
+#[test]
+fn adjoint_reshape() {
+    check_unary("reshape", (3, 4), 19, |g, x| g.reshape(x, 2, 6));
+}
+
+#[test]
+fn adjoint_slice_cols() {
+    check_unary("slice_cols", (3, 6), 20, |g, x| g.slice_cols(x, 1, 3));
+}
+
+#[test]
+fn adjoint_pad_cols() {
+    check_unary("pad_cols", (3, 2), 21, |g, x| g.pad_cols(x, 2, 7));
+}
+
+#[test]
+fn adjoint_slice_rows() {
+    check_unary("slice_rows", (6, 3), 22, |g, x| g.slice_rows(x, 2, 3));
+}
+
+#[test]
+fn adjoint_pad_rows() {
+    check_unary("pad_rows", (2, 3), 23, |g, x| g.pad_rows(x, 1, 6));
+}
+
+#[test]
+fn adjoint_concat_cols() {
+    check_binary("concat_cols", (3, 2), (3, 4), 24, |g, a, b| g.concat_cols(a, b));
+}
+
+#[test]
+fn adjoint_concat_rows() {
+    check_binary("concat_rows", (2, 3), (4, 3), 25, |g, a, b| g.concat_rows(a, b));
+}
+
+#[test]
+fn adjoint_unfold1d() {
+    // Two signals, 6 positions × 2 channels, kernel 3.
+    check_unary("unfold1d", (2, 12), 26, |g, x| g.unfold1d(x, 2, 3));
+}
+
+#[test]
+fn adjoint_fold1d() {
+    // Input shaped like an unfold output: B·L = 6 rows, k·C = 6 cols.
+    check_unary("fold1d", (6, 6), 27, |g, x| g.fold1d(x, 2, 2, 3));
+}
+
+#[test]
+fn adjoint_tanh() {
+    check_unary("tanh", (3, 4), 28, |g, x| g.tanh(x));
+}
+
+#[test]
+fn adjoint_exp() {
+    check_unary("exp", (3, 4), 29, |g, x| g.exp(x));
+}
+
+#[test]
+fn adjoint_sin() {
+    check_unary("sin", (3, 4), 32, |g, x| g.sin(x));
+}
+
+#[test]
+fn adjoint_cos() {
+    check_unary("cos", (3, 4), 33, |g, x| g.cos(x));
+}
+
+#[test]
+fn second_order_sin_is_negative_sin() {
+    let mut g = Graph::new();
+    let x = g.leaf(Tensor::row_vector(&[0.3, -1.1, 2.2]));
+    let y = g.sin(x);
+    let l = g.sum(y);
+    let d1 = g.grad(l, &[x])[0];
+    let s1 = g.sum(d1);
+    let d2 = g.grad(s1, &[x])[0];
+    let expect = Tensor::row_vector(&[-(0.3f64).sin(), -(-1.1f64).sin(), -(2.2f64).sin()]);
+    assert!(g.value(d2).allclose(&expect, 1e-12));
+}
+
+#[test]
+fn adjoint_gelu() {
+    check_unary("gelu", (3, 4), 30, |g, x| g.gelu(x));
+}
+
+#[test]
+fn adjoint_square_composition() {
+    check_unary("square∘tanh", (3, 3), 31, |g, x| {
+        let t = g.tanh(x);
+        g.square(t)
+    });
+}
+
+#[test]
+fn second_order_gelu_matches_fd_of_gradient() {
+    // d²/dx² of Σ gelu(x): differentiate the analytic gradient by finite
+    // differences and compare with grad-of-grad.
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let x0 = random(&mut rng, 2, 3);
+    let grad_at = |x: &Tensor| -> Tensor {
+        let mut g = Graph::new();
+        let xv = g.leaf(x.clone());
+        let y = g.gelu(xv);
+        let l = g.sum(y);
+        let d = g.grad(l, &[xv])[0];
+        g.value(d).clone()
+    };
+    // Analytic second derivative (diagonal since gelu is elementwise).
+    let mut g = Graph::new();
+    let xv = g.leaf(x0.clone());
+    let y = g.gelu(xv);
+    let l = g.sum(y);
+    let d1 = g.grad(l, &[xv])[0];
+    let s1 = g.sum(d1);
+    let d2 = g.grad(s1, &[xv])[0];
+    let analytic = g.value(d2).clone();
+
+    let h = 1e-5;
+    for r in 0..2 {
+        for c in 0..3 {
+            let mut xp = x0.clone();
+            xp.set(r, c, x0.get(r, c) + h);
+            let mut xm = x0.clone();
+            xm.set(r, c, x0.get(r, c) - h);
+            let fd = (grad_at(&xp).get(r, c) - grad_at(&xm).get(r, c)) / (2.0 * h);
+            let an = analytic.get(r, c);
+            assert!(
+                (an - fd).abs() < 1e-5 * (1.0 + fd.abs()),
+                "gelu''[{r},{c}]: {an} vs {fd}"
+            );
+        }
+    }
+}
+
+#[test]
+fn second_order_through_matmul_chain() {
+    // f(x) = Σ (xW)², W const ⇒ ∇f = 2 xWWᵀ, ∇²(e_k direction) constant.
+    let mut rng = ChaCha8Rng::seed_from_u64(100);
+    let w = random(&mut rng, 3, 4);
+    let x0 = random(&mut rng, 2, 3);
+    let mut g = Graph::new();
+    let xv = g.leaf(x0.clone());
+    let wv = g.constant(w.clone());
+    let y = g.matmul(xv, wv);
+    let sq = g.mul(y, y);
+    let l = g.sum(sq);
+    let d1 = g.grad(l, &[xv])[0];
+    // Analytic: 2 x W Wᵀ.
+    let expect = x0.matmul(&w).matmul(&w.transpose()).scale(2.0);
+    assert!(g.value(d1).allclose(&expect, 1e-10));
+    // Second derivative of Σ∇f w.r.t. x: constant = 2·(column sums of WWᵀ)
+    // broadcast to rows.
+    let s1 = g.sum(d1);
+    let d2 = g.grad(s1, &[xv])[0];
+    let wwt = w.matmul(&w.transpose());
+    let col_sums = wwt.sum_axis0().scale(2.0);
+    let expect2 = col_sums.repeat_rows(2);
+    assert!(g.value(d2).allclose(&expect2, 1e-10));
+}

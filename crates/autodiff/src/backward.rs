@@ -1,0 +1,515 @@
+//! The differentiable backward pass.
+//!
+//! [`Graph::grad`] walks the tape in reverse topological order (node indices
+//! are already topologically sorted because operands always precede their
+//! consumers) and **emits new graph nodes** for every adjoint. The returned
+//! gradients are ordinary [`Var`]s: summing one and calling `grad` again
+//! yields second derivatives, which is exactly how the physics-informed loss
+//! obtains `∂²u/∂x²` and then backpropagates it to the weights.
+
+use crate::graph::{op_inputs, Graph, Op, Var};
+use mf_tensor::{Layout, Tensor};
+
+impl Graph {
+    /// Reverse-mode gradients of a scalar `output` with respect to `wrt`.
+    ///
+    /// Returns one `Var` per entry of `wrt`, in order. Variables that the
+    /// output does not depend on receive a zero constant of matching shape.
+    ///
+    /// Panics if `output` is not `1×1`.
+    pub fn grad(&mut self, output: Var, wrt: &[Var]) -> Vec<Var> {
+        assert_eq!(
+            self.value(output).shape(),
+            (1, 1),
+            "grad: output must be a scalar (got {:?}); reduce with sum()/mean() first",
+            self.value(output).shape()
+        );
+        let n = output.0 + 1;
+
+        // Mark ancestors of `output` that participate in differentiation.
+        let mut needed = vec![false; n];
+        if self.requires_grad(output) {
+            let mut stack = vec![output.0];
+            needed[output.0] = true;
+            while let Some(i) = stack.pop() {
+                for v in op_inputs(self.op(Var(i))) {
+                    if self.requires_grad(v) && !needed[v.0] {
+                        needed[v.0] = true;
+                        stack.push(v.0);
+                    }
+                }
+            }
+        }
+
+        let mut adjoint: Vec<Option<Var>> = vec![None; n];
+        if needed[output.0] {
+            let seed = self.constant(Tensor::scalar(1.0));
+            adjoint[output.0] = Some(seed);
+        }
+
+        for i in (0..n).rev() {
+            if !needed[i] {
+                continue;
+            }
+            let Some(g) = adjoint[i] else { continue };
+            self.propagate(Var(i), g, &needed, &mut adjoint);
+        }
+
+        wrt.iter()
+            .map(|&w| match adjoint.get(w.0).copied().flatten() {
+                Some(v) => v,
+                None => {
+                    let (r, c) = self.value(w).shape();
+                    self.constant(Tensor::zeros(r, c))
+                }
+            })
+            .collect()
+    }
+
+    /// Emit VJP nodes for one graph node and accumulate them on its inputs.
+    fn propagate(&mut self, node: Var, g: Var, needed: &[bool], adjoint: &mut [Option<Var>]) {
+        let op = self.op(node).clone();
+        match op {
+            Op::Leaf | Op::Const => {}
+            Op::Add(a, b) => {
+                self.accumulate(a, g, needed, adjoint);
+                self.accumulate(b, g, needed, adjoint);
+            }
+            Op::Sub(a, b) => {
+                self.accumulate(a, g, needed, adjoint);
+                if self.wants(b, needed) {
+                    let nb = self.neg(g);
+                    self.accumulate(b, nb, needed, adjoint);
+                }
+            }
+            Op::Mul(a, b) => {
+                if self.wants(a, needed) {
+                    let ga = self.mul(g, b);
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+                if self.wants(b, needed) {
+                    let gb = self.mul(g, a);
+                    self.accumulate(b, gb, needed, adjoint);
+                }
+            }
+            Op::Neg(a) => {
+                if self.wants(a, needed) {
+                    let ga = self.neg(g);
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+            }
+            Op::Scale(a, s) => {
+                if self.wants(a, needed) {
+                    let ga = self.scale(g, s);
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+            }
+            Op::AddScalar(a, _) => self.accumulate(a, g, needed, adjoint),
+            Op::MatMul(a, la, b, lb) => {
+                use Layout::{Normal as N, Transposed as T};
+                if self.wants(a, needed) {
+                    let ga = match (la, lb) {
+                        (N, N) => self.matmul_layout(g, N, b, T),
+                        (T, N) => self.matmul_layout(b, N, g, T),
+                        (N, T) => self.matmul_layout(g, N, b, N),
+                        (T, T) => self.matmul_layout(b, T, g, T),
+                    };
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+                if self.wants(b, needed) {
+                    let gb = match (la, lb) {
+                        (N, N) => self.matmul_layout(a, T, g, N),
+                        (T, N) => self.matmul_layout(a, N, g, N),
+                        (N, T) => self.matmul_layout(g, T, a, N),
+                        (T, T) => self.matmul_layout(g, T, a, T),
+                    };
+                    self.accumulate(b, gb, needed, adjoint);
+                }
+            }
+            Op::Transpose(a) => {
+                if self.wants(a, needed) {
+                    let ga = self.transpose(g);
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+            }
+            Op::SumAll(a) => {
+                if self.wants(a, needed) {
+                    let (r, c) = self.value(a).shape();
+                    let ga = self.broadcast_scalar(g, r, c);
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+            }
+            Op::MeanAll(a) => {
+                if self.wants(a, needed) {
+                    let (r, c) = self.value(a).shape();
+                    let bs = self.broadcast_scalar(g, r, c);
+                    let ga = self.scale(bs, 1.0 / (r * c) as f64);
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+            }
+            Op::SumAxis0(a) => {
+                if self.wants(a, needed) {
+                    let q = self.value(a).rows();
+                    let ga = self.broadcast_rows(g, q);
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+            }
+            Op::BroadcastRows(a, _) => {
+                if self.wants(a, needed) {
+                    let ga = self.sum_axis0(g);
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+            }
+            Op::BroadcastScalar(a, _, _) => {
+                if self.wants(a, needed) {
+                    let ga = self.sum(g);
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+            }
+            Op::RepeatRows(a, q) => {
+                if self.wants(a, needed) {
+                    let ga = self.sum_groups(g, q);
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+            }
+            Op::SumGroups(a, q) => {
+                if self.wants(a, needed) {
+                    let ga = self.repeat_rows(g, q);
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+            }
+            Op::Reshape(a, _, _) => {
+                if self.wants(a, needed) {
+                    let (r, c) = self.value(a).shape();
+                    let ga = self.reshape(g, r, c);
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+            }
+            Op::SliceCols(a, start, _len) => {
+                if self.wants(a, needed) {
+                    let total = self.value(a).cols();
+                    let ga = self.pad_cols(g, start, total);
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+            }
+            Op::PadCols(a, start, _total) => {
+                if self.wants(a, needed) {
+                    let len = self.value(a).cols();
+                    let ga = self.slice_cols(g, start, len);
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+            }
+            Op::SliceRows(a, start, _len) => {
+                if self.wants(a, needed) {
+                    let total = self.value(a).rows();
+                    let ga = self.pad_rows(g, start, total);
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+            }
+            Op::PadRows(a, start, _total) => {
+                if self.wants(a, needed) {
+                    let len = self.value(a).rows();
+                    let ga = self.slice_rows(g, start, len);
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+            }
+            Op::ConcatCols(a, b) => {
+                let ca = self.value(a).cols();
+                let cb = self.value(b).cols();
+                if self.wants(a, needed) {
+                    let ga = self.slice_cols(g, 0, ca);
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+                if self.wants(b, needed) {
+                    let gb = self.slice_cols(g, ca, cb);
+                    self.accumulate(b, gb, needed, adjoint);
+                }
+            }
+            Op::ConcatRows(a, b) => {
+                let ra = self.value(a).rows();
+                let rb = self.value(b).rows();
+                if self.wants(a, needed) {
+                    let ga = self.slice_rows(g, 0, ra);
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+                if self.wants(b, needed) {
+                    let gb = self.slice_rows(g, ra, rb);
+                    self.accumulate(b, gb, needed, adjoint);
+                }
+            }
+            Op::Unfold1d(a, ch, k) => {
+                if self.wants(a, needed) {
+                    let batch = self.value(a).rows();
+                    let ga = self.fold1d(g, batch, ch, k);
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+            }
+            Op::Fold1d(a, _b, ch, k) => {
+                if self.wants(a, needed) {
+                    let ga = self.unfold1d(g, ch, k);
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+            }
+            Op::Tanh(a) => {
+                if self.wants(a, needed) {
+                    // d tanh(x) = 1 - tanh(x)², expressed via the forward
+                    // output node so it stays differentiable.
+                    let y2 = self.mul(node, node);
+                    let neg_y2 = self.neg(y2);
+                    let one_minus = self.add_scalar(neg_y2, 1.0);
+                    let ga = self.mul(g, one_minus);
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+            }
+            Op::Exp(a) => {
+                if self.wants(a, needed) {
+                    let ga = self.mul(g, node);
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+            }
+            Op::Sin(a) => {
+                if self.wants(a, needed) {
+                    let ca = self.cos(a);
+                    let ga = self.mul(g, ca);
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+            }
+            Op::Cos(a) => {
+                if self.wants(a, needed) {
+                    let sa = self.sin(a);
+                    let nsa = self.neg(sa);
+                    let ga = self.mul(g, nsa);
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+            }
+            Op::Gelu(a) => {
+                if self.wants(a, needed) {
+                    // gelu'(x) = ½(1 + t) + ½x (1 − t²)·u'(x),
+                    // t = tanh(u), u = √(2/π)(x + c x³), u' = √(2/π)(1 + 3c x²).
+                    // Rebuilt from primitives so it stays differentiable.
+                    use crate::ops::{GELU_C, GELU_SQRT_2_OVER_PI};
+                    let x2 = self.mul(a, a);
+                    let x3 = self.mul(x2, a);
+                    let cx3 = self.scale(x3, GELU_C);
+                    let inner = self.add(a, cx3);
+                    let u = self.scale(inner, GELU_SQRT_2_OVER_PI);
+                    let t = self.tanh(u);
+                    let one_plus = self.add_scalar(t, 1.0);
+                    let term1 = self.scale(one_plus, 0.5);
+                    let t2 = self.mul(t, t);
+                    let nt2 = self.neg(t2);
+                    let sech2 = self.add_scalar(nt2, 1.0);
+                    let du_a = self.scale(x2, 3.0 * GELU_C);
+                    let du_b = self.add_scalar(du_a, 1.0);
+                    let du = self.scale(du_b, GELU_SQRT_2_OVER_PI);
+                    let half_x = self.scale(a, 0.5);
+                    let hs = self.mul(half_x, sech2);
+                    let term2 = self.mul(hs, du);
+                    let deriv = self.add(term1, term2);
+                    let ga = self.mul(g, deriv);
+                    self.accumulate(a, ga, needed, adjoint);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn wants(&self, v: Var, needed: &[bool]) -> bool {
+        v.0 < needed.len() && needed[v.0]
+    }
+
+    fn accumulate(&mut self, target: Var, contribution: Var, needed: &[bool], adjoint: &mut [Option<Var>]) {
+        if !self.wants(target, needed) {
+            return;
+        }
+        adjoint[target.0] = Some(match adjoint[target.0] {
+            None => contribution,
+            Some(prev) => self.add(prev, contribution),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn grad_of_linear_combination() {
+        // f = 3a + 2b ⇒ df/da = 3, df/db = 2
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::scalar(5.0));
+        let b = g.leaf(Tensor::scalar(7.0));
+        let ta = g.scale(a, 3.0);
+        let tb = g.scale(b, 2.0);
+        let f = g.add(ta, tb);
+        let grads = g.grad(f, &[a, b]);
+        assert_eq!(g.value(grads[0]).item(), 3.0);
+        assert_eq!(g.value(grads[1]).item(), 2.0);
+    }
+
+    #[test]
+    fn grad_of_matmul_is_correct() {
+        // f = sum(A·B): dA = 1·Bᵀ, dB = Aᵀ·1.
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = g.leaf(Tensor::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]));
+        let c = g.matmul(a, b);
+        let f = g.sum(c);
+        let grads = g.grad(f, &[a, b]);
+        // dA[i,j] = sum_k B[j,k]
+        assert_eq!(g.value(grads[0]).as_slice(), &[11.0, 15.0, 11.0, 15.0]);
+        // dB[i,j] = sum_k A[k,i]
+        assert_eq!(g.value(grads[1]).as_slice(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn unused_variable_gets_zero_grad() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::scalar(1.0));
+        let b = g.leaf(Tensor::ones(2, 3));
+        let f = g.mul(a, a);
+        let s = g.sum(f);
+        let grads = g.grad(s, &[a, b]);
+        assert_eq!(g.value(grads[0]).item(), 2.0);
+        assert_eq!(g.value(grads[1]).shape(), (2, 3));
+        assert_eq!(g.value(grads[1]).norm_linf(), 0.0);
+    }
+
+    #[test]
+    fn second_derivative_of_cubic() {
+        // f = x³ summed; f' = 3x², f'' = 6x, f''' = 6.
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::row_vector(&[1.0, 2.0, -1.5]));
+        let x2 = g.mul(x, x);
+        let x3 = g.mul(x2, x);
+        let f = g.sum(x3);
+        let d1 = g.grad(f, &[x])[0];
+        assert!(g.value(d1).allclose(&Tensor::row_vector(&[3.0, 12.0, 6.75]), 1e-12));
+        let s1 = g.sum(d1);
+        let d2 = g.grad(s1, &[x])[0];
+        assert!(g.value(d2).allclose(&Tensor::row_vector(&[6.0, 12.0, -9.0]), 1e-12));
+        let s2 = g.sum(d2);
+        let d3 = g.grad(s2, &[x])[0];
+        assert!(g.value(d3).allclose(&Tensor::full(1, 3, 6.0), 1e-12));
+    }
+
+    #[test]
+    fn tanh_derivatives() {
+        // d tanh = 1 - tanh², d² tanh = -2 tanh (1 - tanh²).
+        let mut g = Graph::new();
+        let x0 = 0.37;
+        let x = g.leaf(Tensor::scalar(x0));
+        let y = g.tanh(x);
+        let d1 = g.grad(y, &[x])[0];
+        let t = x0.tanh();
+        assert!((g.value(d1).item() - (1.0 - t * t)).abs() < 1e-12);
+        let d2 = g.grad(d1, &[x])[0];
+        assert!((g.value(d2).item() - (-2.0 * t * (1.0 - t * t))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_is_its_own_derivative() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::scalar(0.8));
+        let y = g.exp(x);
+        let d1 = g.grad(y, &[x])[0];
+        let d2 = g.grad(d1, &[x])[0];
+        let e = (0.8f64).exp();
+        assert!((g.value(d1).item() - e).abs() < 1e-12);
+        assert!((g.value(d2).item() - e).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grad_through_shared_subexpression_accumulates() {
+        // f = x·y + x ⇒ df/dx = y + 1.
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::scalar(2.0));
+        let y = g.leaf(Tensor::scalar(5.0));
+        let xy = g.mul(x, y);
+        let f = g.add(xy, x);
+        let d = g.grad(f, &[x])[0];
+        assert_eq!(g.value(d).item(), 6.0);
+    }
+
+    #[test]
+    fn grad_through_repeat_and_sum_groups() {
+        // f = sum(repeat_rows(x, q) * c): df/dx[i] = sum of the q copies' weights.
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(2, 1, vec![1.0, 2.0]));
+        let c = g.constant(Tensor::from_vec(4, 1, vec![1.0, 2.0, 3.0, 4.0]));
+        let r = g.repeat_rows(x, 2);
+        let p = g.mul(r, c);
+        let f = g.sum(p);
+        let d = g.grad(f, &[x])[0];
+        assert_eq!(g.value(d).as_slice(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn grad_through_unfold() {
+        // f = sum(unfold(x)) counts every position k times (circular).
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::row_vector(&[1.0, 2.0, 3.0, 4.0, 5.0]));
+        let u = g.unfold1d(x, 1, 3);
+        let f = g.sum(u);
+        let d = g.grad(f, &[x])[0];
+        assert!(g.value(d).allclose(&Tensor::full(1, 5, 3.0), 1e-12));
+    }
+
+    #[test]
+    fn grad_through_slices_and_concat() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::row_vector(&[1.0, 2.0, 3.0, 4.0]));
+        let left = g.slice_cols(x, 0, 2);
+        let right = g.slice_cols(x, 2, 2);
+        let two_right = g.scale(right, 2.0);
+        let cat = g.concat_cols(left, two_right);
+        let f = g.sum(cat);
+        let d = g.grad(f, &[x])[0];
+        assert_eq!(g.value(d).as_slice(), &[1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a scalar")]
+    fn grad_rejects_non_scalar_output() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::ones(2, 2));
+        let y = g.mul(x, x);
+        let _ = g.grad(y, &[x]);
+    }
+
+    #[test]
+    fn grad_wrt_constant_output_is_zero() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::scalar(3.0));
+        let c = g.constant(Tensor::scalar(4.0));
+        let f = g.mul(c, c);
+        let s = g.sum(f);
+        let d = g.grad(s, &[x])[0];
+        assert_eq!(g.value(d).item(), 0.0);
+    }
+
+    #[test]
+    fn gelu_first_derivative_matches_finite_difference() {
+        let h = 1e-6;
+        for &x0 in &[-1.5, -0.3, 0.0, 0.7, 2.1] {
+            let mut g = Graph::new();
+            let x = g.leaf(Tensor::scalar(x0));
+            let y = g.gelu(x);
+            let d = g.grad(y, &[x])[0];
+            let analytic = g.value(d).item();
+
+            let eval = |v: f64| {
+                let mut gg = Graph::new();
+                let xx = gg.leaf(Tensor::scalar(v));
+                let yy = gg.gelu(xx);
+                gg.value(yy).item()
+            };
+            let numeric = (eval(x0 + h) - eval(x0 - h)) / (2.0 * h);
+            assert!(
+                (analytic - numeric).abs() < 1e-6,
+                "gelu'({x0}): analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! The arena graph: node storage, primitive definitions, eager evaluation.
+
+use mf_tensor::Layout;
+use mf_tensor::Tensor;
+
+/// Handle to a node in a [`Graph`].
+///
+/// `Var`s are plain indices; they are only meaningful together with the
+/// graph that created them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// A primitive operation recorded on the graph.
+///
+/// Every operand is a [`Var`] pointing at an *earlier* node, so node index
+/// order is a topological order — the backward pass exploits this.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// Differentiable input (parameter, coordinates, …).
+    Leaf,
+    /// Non-differentiable constant (targets, masks, literals).
+    Const,
+    /// Elementwise `a + b`.
+    Add(Var, Var),
+    /// Elementwise `a - b`.
+    Sub(Var, Var),
+    /// Elementwise (Hadamard) `a * b`.
+    Mul(Var, Var),
+    /// Elementwise `-a`.
+    Neg(Var),
+    /// `a * s` for a compile-time scalar.
+    Scale(Var, f64),
+    /// `a + s` for a compile-time scalar.
+    AddScalar(Var, f64),
+    /// `op_a(a) · op_b(b)` dense matrix product.
+    MatMul(Var, Layout, Var, Layout),
+    /// Matrix transpose.
+    Transpose(Var),
+    /// Sum of all elements → `1×1`.
+    SumAll(Var),
+    /// Mean of all elements → `1×1`.
+    MeanAll(Var),
+    /// Sum over rows: `[q,d] → [1,d]`.
+    SumAxis0(Var),
+    /// Broadcast a row: `[1,d] → [q,d]`.
+    BroadcastRows(Var, usize),
+    /// Broadcast a scalar: `[1,1] → [r,c]`.
+    BroadcastScalar(Var, usize, usize),
+    /// Repeat each row `q` times: `[B,d] → [B·q,d]` (input-split broadcast).
+    RepeatRows(Var, usize),
+    /// Sum consecutive groups of `q` rows: `[B·q,d] → [B,d]`.
+    SumGroups(Var, usize),
+    /// Metadata reshape.
+    Reshape(Var, usize, usize),
+    /// Columns `[start, start+len)`.
+    SliceCols(Var, usize, usize),
+    /// Embed as columns `[start, …)` of a width-`total` zero matrix.
+    PadCols(Var, usize, usize),
+    /// Rows `[start, start+len)`.
+    SliceRows(Var, usize, usize),
+    /// Embed as rows `[start, …)` of a height-`total` zero matrix.
+    PadRows(Var, usize, usize),
+    /// `[a | b]` horizontal concatenation.
+    ConcatCols(Var, Var),
+    /// `[a; b]` vertical concatenation.
+    ConcatRows(Var, Var),
+    /// Circular 1-D unfold (im2col): `(channels, kernel)`.
+    Unfold1d(Var, usize, usize),
+    /// Adjoint of unfold: `(batch, channels, kernel)`.
+    Fold1d(Var, usize, usize, usize),
+    /// Elementwise hyperbolic tangent.
+    Tanh(Var),
+    /// Elementwise exponential.
+    Exp(Var),
+    /// Elementwise sine.
+    Sin(Var),
+    /// Elementwise cosine.
+    Cos(Var),
+    /// Fused GELU (tanh approximation). One node instead of the ~9 a
+    /// composed implementation needs, which matters because activation
+    /// tensors dominate the autograd graph's memory (Table 3).
+    Gelu(Var),
+}
+
+pub(crate) struct Node {
+    pub op: Op,
+    pub value: Tensor,
+    pub requires_grad: bool,
+}
+
+/// Aggregate statistics of a graph, used by the Table-3 memory experiment.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes recorded.
+    pub nodes: usize,
+    /// Bytes held by node value buffers (the "autograd graph" footprint).
+    pub bytes: usize,
+}
+
+/// An eager tape of tensor operations supporting repeated, differentiable
+/// backward passes.
+///
+/// Typical lifecycle: build leaves for parameters and inputs, run a forward
+/// computation, call [`Graph::grad`] one or more times (each emits adjoint
+/// nodes into the same graph), read gradients with [`Graph::value`], then
+/// drop or [`Graph::clear`] the graph before the next training step.
+pub struct Graph {
+    pub(crate) nodes: Vec<Node>,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Drop all nodes (start a fresh tape while keeping the allocation).
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Bytes held by all node value buffers.
+    pub fn bytes_allocated(&self) -> usize {
+        self.nodes.iter().map(|n| n.value.nbytes()).sum()
+    }
+
+    /// Node and byte counts in one call.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats { nodes: self.len(), bytes: self.bytes_allocated() }
+    }
+
+    /// The computed value of a variable.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Whether gradients flow through this variable.
+    pub fn requires_grad(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    /// The operation that produced this variable.
+    pub fn op(&self, v: Var) -> &Op {
+        &self.nodes[v.0].op
+    }
+
+    /// Record a differentiable leaf (parameter or input).
+    pub fn leaf(&mut self, value: Tensor) -> Var {
+        self.push(Op::Leaf, value, true)
+    }
+
+    /// Record a non-differentiable constant.
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.push(Op::Const, value, false)
+    }
+
+    /// Convenience: a `1×1` constant.
+    pub fn constant_scalar(&mut self, v: f64) -> Var {
+        self.constant(Tensor::scalar(v))
+    }
+
+    pub(crate) fn push(&mut self, op: Op, value: Tensor, requires_grad: bool) -> Var {
+        self.nodes.push(Node { op, value, requires_grad });
+        Var(self.nodes.len() - 1)
+    }
+
+    pub(crate) fn push_op(&mut self, op: Op, value: Tensor) -> Var {
+        let rg = op_inputs(&op).iter().any(|v| self.nodes[v.0].requires_grad);
+        self.push(op, value, rg)
+    }
+}
+
+/// The input variables of an operation, in a fixed small buffer.
+pub(crate) fn op_inputs(op: &Op) -> Vec<Var> {
+    use Op::*;
+    match *op {
+        Leaf | Const => vec![],
+        Add(a, b) | Sub(a, b) | Mul(a, b) | MatMul(a, _, b, _) | ConcatCols(a, b)
+        | ConcatRows(a, b) => vec![a, b],
+        Neg(a) | Scale(a, _) | AddScalar(a, _) | Transpose(a) | SumAll(a) | MeanAll(a)
+        | SumAxis0(a) | BroadcastRows(a, _) | BroadcastScalar(a, _, _) | RepeatRows(a, _)
+        | SumGroups(a, _) | Reshape(a, _, _) | SliceCols(a, _, _) | PadCols(a, _, _)
+        | SliceRows(a, _, _) | PadRows(a, _, _) | Unfold1d(a, _, _) | Fold1d(a, _, _, _)
+        | Tanh(a) | Exp(a) | Gelu(a) | Sin(a) | Cos(a) => vec![a],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaves_and_constants() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::ones(2, 2));
+        let c = g.constant(Tensor::zeros(2, 2));
+        assert!(g.requires_grad(a));
+        assert!(!g.requires_grad(c));
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.bytes_allocated(), 2 * 4 * 8);
+    }
+
+    #[test]
+    fn requires_grad_propagates() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::ones(2, 2));
+        let c = g.constant(Tensor::ones(2, 2));
+        let s1 = g.add(c, c);
+        let s2 = g.add(a, c);
+        assert!(!g.requires_grad(s1));
+        assert!(g.requires_grad(s2));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut g = Graph::new();
+        let _ = g.leaf(Tensor::ones(4, 4));
+        assert!(!g.is_empty());
+        g.clear();
+        assert!(g.is_empty());
+        assert_eq!(g.stats(), GraphStats::default());
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::ones(8, 8));
+        let _ = g.mul(a, a);
+        let s = g.stats();
+        assert_eq!(s.nodes, 2);
+        assert_eq!(s.bytes, 2 * 64 * 8);
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! Tensor-valued reverse-mode automatic differentiation with
+//! **differentiable vector-Jacobian products**.
+//!
+//! Physics-informed training needs the Laplacian `∂²u/∂x² + ∂²u/∂y²` of the
+//! network output with respect to its *inputs* inside a loss that is then
+//! differentiated with respect to the *weights* — three chained backward
+//! passes (§5.2 of the paper). PyTorch supports this via
+//! `autograd.grad(..., create_graph=True)`; this crate reproduces the same
+//! semantics from scratch:
+//!
+//! * computation is recorded on an arena [`Graph`] of tensor-valued nodes,
+//! * [`Graph::grad`] walks the graph in reverse and **emits new graph
+//!   nodes** for every adjoint, so gradients are themselves differentiable
+//!   to arbitrary order,
+//! * every primitive's VJP is expressed in terms of the same primitive set,
+//!   which makes the rule set closed under differentiation.
+//!
+//! The arena also meters the bytes held by node values
+//! ([`Graph::bytes_allocated`]), which is how the repository reproduces the
+//! autograd-memory measurements of Table 3.
+//!
+//! # Example
+//!
+//! ```
+//! use mf_autodiff::Graph;
+//! use mf_tensor::Tensor;
+//!
+//! let mut g = Graph::new();
+//! let x = g.leaf(Tensor::from_vec(3, 1, vec![0.5, 1.0, 2.0]));
+//! let y = g.mul(x, x); // y = x²  (per element)
+//! let s = g.sum(y);
+//! let dx = g.grad(s, &[x])[0]; // dy/dx = 2x
+//! assert!(g.value(dx).allclose(&Tensor::from_vec(3, 1, vec![1.0, 2.0, 4.0]), 1e-12));
+//! // Second derivative: differentiate the gradient again.
+//! let s2 = g.sum(dx);
+//! let dxx = g.grad(s2, &[x])[0]; // d²y/dx² = 2
+//! assert!(g.value(dxx).allclose(&Tensor::full(3, 1, 2.0), 1e-12));
+//! ```
+
+mod backward;
+mod graph;
+mod ops;
+
+pub use graph::{Graph, GraphStats, Op, Var};
+
+#[cfg(test)]
+mod adjoint_tests;
+#[cfg(test)]
+mod finite_diff_tests;

@@ -1,0 +1,281 @@
+//! Eager primitive operations recorded on the graph.
+//!
+//! Each method computes the value immediately with `mf-tensor` kernels and
+//! records the [`Op`] so the backward pass can differentiate it later.
+
+use crate::graph::{Graph, Op, Var};
+use mf_tensor::{fold1d_circular, gemm, unfold1d_circular, Layout, Tensor};
+
+/// Constant `√(2/π)` of the GELU tanh approximation.
+pub(crate) const GELU_SQRT_2_OVER_PI: f64 = 0.797_884_560_802_865_4;
+/// Cubic coefficient of the GELU tanh approximation.
+pub(crate) const GELU_C: f64 = 0.044715;
+
+/// Scalar GELU (tanh approximation).
+#[inline]
+pub(crate) fn gelu_scalar(x: f64) -> f64 {
+    0.5 * x * (1.0 + (GELU_SQRT_2_OVER_PI * (x + GELU_C * x * x * x)).tanh())
+}
+
+impl Graph {
+    /// Elementwise `a + b`.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push_op(Op::Add(a, b), v)
+    }
+
+    /// Elementwise `a - b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push_op(Op::Sub(a, b), v)
+    }
+
+    /// Elementwise `a * b`.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        self.push_op(Op::Mul(a, b), v)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let v = self.value(a).scale(-1.0);
+        self.push_op(Op::Neg(a), v)
+    }
+
+    /// Multiply by a scalar constant.
+    pub fn scale(&mut self, a: Var, s: f64) -> Var {
+        let v = self.value(a).scale(s);
+        self.push_op(Op::Scale(a, s), v)
+    }
+
+    /// Add a scalar constant.
+    pub fn add_scalar(&mut self, a: Var, s: f64) -> Var {
+        let v = self.value(a).add_scalar(s);
+        self.push_op(Op::AddScalar(a, s), v)
+    }
+
+    /// Elementwise square, recorded as `a * a`.
+    pub fn square(&mut self, a: Var) -> Var {
+        self.mul(a, a)
+    }
+
+    /// Dense matrix product `a · b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        self.matmul_layout(a, Layout::Normal, b, Layout::Normal)
+    }
+
+    /// Dense matrix product with explicit operand layouts.
+    pub fn matmul_layout(&mut self, a: Var, la: Layout, b: Var, lb: Layout) -> Var {
+        let v = gemm(self.value(a), la, self.value(b), lb);
+        self.push_op(Op::MatMul(a, la, b, lb), v)
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.value(a).transpose();
+        self.push_op(Op::Transpose(a), v)
+    }
+
+    /// Sum of all elements (`1×1` result).
+    pub fn sum(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).sum());
+        self.push_op(Op::SumAll(a), v)
+    }
+
+    /// Mean of all elements (`1×1` result).
+    pub fn mean(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).mean());
+        self.push_op(Op::MeanAll(a), v)
+    }
+
+    /// Sum over rows: `[q,d] → [1,d]`.
+    pub fn sum_axis0(&mut self, a: Var) -> Var {
+        let v = self.value(a).sum_axis0();
+        self.push_op(Op::SumAxis0(a), v)
+    }
+
+    /// Broadcast a `1×d` row to `q×d`.
+    pub fn broadcast_rows(&mut self, a: Var, q: usize) -> Var {
+        assert_eq!(self.value(a).rows(), 1, "broadcast_rows: input must be a row vector");
+        let v = self.value(a).repeat_rows(q);
+        self.push_op(Op::BroadcastRows(a, q), v)
+    }
+
+    /// Broadcast a `1×1` scalar to `r×c`.
+    pub fn broadcast_scalar(&mut self, a: Var, r: usize, c: usize) -> Var {
+        let s = self.value(a).item();
+        self.push_op(Op::BroadcastScalar(a, r, c), Tensor::full(r, c, s))
+    }
+
+    /// Repeat each row `q` times consecutively: `[B,d] → [B·q,d]`.
+    ///
+    /// This is the broadcast in the paper's input-split layer (eq. 8): the
+    /// per-boundary embedding is shared across that boundary's `q` query
+    /// points.
+    pub fn repeat_rows(&mut self, a: Var, q: usize) -> Var {
+        let v = self.value(a).repeat_rows(q);
+        self.push_op(Op::RepeatRows(a, q), v)
+    }
+
+    /// Sum consecutive groups of `q` rows: `[B·q,d] → [B,d]`.
+    pub fn sum_groups(&mut self, a: Var, q: usize) -> Var {
+        let v = self.value(a).sum_groups(q);
+        self.push_op(Op::SumGroups(a, q), v)
+    }
+
+    /// Metadata reshape.
+    pub fn reshape(&mut self, a: Var, rows: usize, cols: usize) -> Var {
+        let v = self.value(a).reshape(rows, cols);
+        self.push_op(Op::Reshape(a, rows, cols), v)
+    }
+
+    /// Columns `[start, start+len)`.
+    pub fn slice_cols(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let v = self.value(a).slice_cols(start, len);
+        self.push_op(Op::SliceCols(a, start, len), v)
+    }
+
+    /// Embed as columns `[start, …)` of a width-`total` zero matrix.
+    pub fn pad_cols(&mut self, a: Var, start: usize, total: usize) -> Var {
+        let v = self.value(a).pad_cols(start, total);
+        self.push_op(Op::PadCols(a, start, total), v)
+    }
+
+    /// Rows `[start, start+len)`.
+    pub fn slice_rows(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let v = self.value(a).slice_rows(start, len);
+        self.push_op(Op::SliceRows(a, start, len), v)
+    }
+
+    /// Embed as rows `[start, …)` of a height-`total` zero matrix.
+    pub fn pad_rows(&mut self, a: Var, start: usize, total: usize) -> Var {
+        let v = self.value(a).pad_rows(start, total);
+        self.push_op(Op::PadRows(a, start, total), v)
+    }
+
+    /// Horizontal concatenation `[a | b]`.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).concat_cols(self.value(b));
+        self.push_op(Op::ConcatCols(a, b), v)
+    }
+
+    /// Vertical concatenation `[a; b]`.
+    pub fn concat_rows(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).concat_rows(self.value(b));
+        self.push_op(Op::ConcatRows(a, b), v)
+    }
+
+    /// Circular 1-D unfold (im2col) of a position-major multi-channel signal.
+    pub fn unfold1d(&mut self, a: Var, channels: usize, k: usize) -> Var {
+        let v = unfold1d_circular(self.value(a), channels, k);
+        self.push_op(Op::Unfold1d(a, channels, k), v)
+    }
+
+    /// Adjoint of [`Graph::unfold1d`] (scatter-add of windows).
+    pub fn fold1d(&mut self, a: Var, b: usize, channels: usize, k: usize) -> Var {
+        let v = fold1d_circular(self.value(a), b, channels, k);
+        self.push_op(Op::Fold1d(a, b, channels, k), v)
+    }
+
+    /// Elementwise `tanh`.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f64::tanh);
+        self.push_op(Op::Tanh(a), v)
+    }
+
+    /// Elementwise `exp`.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f64::exp);
+        self.push_op(Op::Exp(a), v)
+    }
+
+    /// Elementwise `sin`.
+    pub fn sin(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f64::sin);
+        self.push_op(Op::Sin(a), v)
+    }
+
+    /// Elementwise `cos`.
+    pub fn cos(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f64::cos);
+        self.push_op(Op::Cos(a), v)
+    }
+
+    /// Mean squared error between `pred` and `target` (usually a constant).
+    pub fn mse(&mut self, pred: Var, target: Var) -> Var {
+        let d = self.sub(pred, target);
+        let sq = self.mul(d, d);
+        self.mean(sq)
+    }
+
+    /// GELU activation (tanh approximation), recorded as a single fused
+    /// node: `gelu(x) = 0.5 x (1 + tanh(√(2/π) (x + 0.044715 x³)))`.
+    ///
+    /// The VJP is emitted in terms of other differentiable primitives, so
+    /// higher-order derivatives (the PDE loss) still work.
+    pub fn gelu(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(gelu_scalar);
+        self.push_op(Op::Gelu(x), v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_match_tensor_kernels() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = g.leaf(Tensor::from_vec(2, 2, vec![0.5, 0.5, 0.5, 0.5]));
+        let c = g.matmul(a, b);
+        assert_eq!(g.value(c).as_slice(), &[1.5, 1.5, 3.5, 3.5]);
+        let m = g.mean(c);
+        assert_eq!(g.value(m).item(), 2.5);
+    }
+
+    #[test]
+    fn gelu_matches_reference_values() {
+        // Reference values from the tanh approximation itself, hand-checked
+        // against PyTorch's F.gelu(x, approximate='tanh').
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::row_vector(&[-2.0, -1.0, 0.0, 1.0, 2.0]));
+        let y = g.gelu(x);
+        let got = g.value(y).as_slice().to_vec();
+        let expect = [-0.045402, -0.158808, 0.0, 0.841192, 1.954598];
+        for (a, b) in got.iter().zip(expect) {
+            assert!((a - b).abs() < 1e-5, "gelu mismatch: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mse_of_equal_inputs_is_zero() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::ones(3, 1));
+        let t = g.constant(Tensor::ones(3, 1));
+        let l = g.mse(a, t);
+        assert_eq!(g.value(l).item(), 0.0);
+    }
+
+    #[test]
+    fn slice_pad_concat_shapes() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::from_fn(2, 4, |r, c| (r * 4 + c) as f64));
+        let s = g.slice_cols(a, 1, 2);
+        assert_eq!(g.value(s).shape(), (2, 2));
+        let p = g.pad_cols(s, 1, 4);
+        assert_eq!(g.value(p).get(0, 0), 0.0);
+        assert_eq!(g.value(p).get(0, 1), 1.0);
+        let b = g.leaf(Tensor::ones(2, 1));
+        let cc = g.concat_cols(a, b);
+        assert_eq!(g.value(cc).shape(), (2, 5));
+    }
+
+    #[test]
+    fn unfold_records_correct_value() {
+        let mut g = Graph::new();
+        let sig = g.leaf(Tensor::row_vector(&[0.0, 1.0, 2.0, 3.0]));
+        let u = g.unfold1d(sig, 1, 3);
+        assert_eq!(g.value(u).row(0), &[3.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Criterion benches of the autodiff engine: forward tape building, first
+//! gradients, and the double-backward pattern of the PDE loss.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mf_autodiff::Graph;
+use mf_tensor::{Layout, Tensor};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn random(rng: &mut impl Rng, r: usize, c: usize) -> Tensor {
+    Tensor::from_fn(r, c, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+/// A 3-layer GELU MLP forward on the graph; returns (loss, input var).
+fn mlp_forward(
+    g: &mut Graph,
+    x: &Tensor,
+    weights: &[(Tensor, Tensor)],
+) -> (mf_autodiff::Var, mf_autodiff::Var) {
+    let xv = g.leaf(x.clone());
+    let mut h = xv;
+    for (w, b) in weights {
+        let wv = g.constant(w.clone());
+        let bv = g.constant(b.clone());
+        let lin = g.matmul_layout(h, Layout::Normal, wv, Layout::Transposed);
+        let q = g.value(lin).rows();
+        let bb = g.broadcast_rows(bv, q);
+        let pre = g.add(lin, bb);
+        h = g.gelu(pre);
+    }
+    let s = g.sum(h);
+    (s, xv)
+}
+
+fn weights(rng: &mut impl Rng, din: usize, width: usize, layers: usize) -> Vec<(Tensor, Tensor)> {
+    let mut out = Vec::new();
+    let mut d = din;
+    for _ in 0..layers {
+        out.push((random(rng, width, d), random(rng, 1, width)));
+        d = width;
+    }
+    out
+}
+
+fn bench_forward_and_grad(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let ws = weights(&mut rng, 2, 64, 3);
+    let mut group = c.benchmark_group("autodiff");
+    group.sample_size(20);
+    for batch in [64usize, 512] {
+        let x = random(&mut rng, batch, 2);
+        group.bench_with_input(BenchmarkId::new("forward", batch), &batch, |bch, _| {
+            bch.iter(|| {
+                let mut g = Graph::new();
+                mlp_forward(&mut g, &x, &ws)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("grad", batch), &batch, |bch, _| {
+            bch.iter(|| {
+                let mut g = Graph::new();
+                let (l, xv) = mlp_forward(&mut g, &x, &ws);
+                g.grad(l, &[xv])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("laplacian", batch), &batch, |bch, _| {
+            // The PDE-loss pattern: two chained backward passes.
+            bch.iter(|| {
+                let mut g = Graph::new();
+                let (l, xv) = mlp_forward(&mut g, &x, &ws);
+                let d1 = g.grad(l, &[xv])[0];
+                let ux = g.slice_cols(d1, 0, 1);
+                let s = g.sum(ux);
+                g.grad(s, &[xv])
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward_and_grad);
+criterion_main!(benches);

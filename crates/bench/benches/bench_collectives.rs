@@ -1,0 +1,56 @@
+//! Criterion benches of the simulated cluster's collectives — the
+//! communication substrate of Algorithm 1 (gradient allreduce) and
+//! Algorithm 2 (halo exchange).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mf_dist::Cluster;
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_allreduce");
+    group.sample_size(10);
+    for &(ranks, len) in &[(2usize, 1024usize), (4, 1024), (4, 65536), (8, 65536)] {
+        group.throughput(Throughput::Bytes((len * 8) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("p{ranks}_n{len}")),
+            &(ranks, len),
+            |bch, &(ranks, len)| {
+                bch.iter(|| {
+                    Cluster::run(ranks, |comm| {
+                        let mut buf = vec![comm.rank() as f64; len];
+                        comm.allreduce_mean(&mut buf);
+                        buf[0]
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_halo_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("halo_exchange");
+    group.sample_size(10);
+    for &(ranks, len) in &[(4usize, 256usize), (9, 256), (9, 4096)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("p{ranks}_n{len}")),
+            &(ranks, len),
+            |bch, &(ranks, len)| {
+                bch.iter(|| {
+                    Cluster::run(ranks, |comm| {
+                        // All-pairs exchange as an upper bound on the
+                        // 8-neighbor stencil.
+                        let peers: Vec<(usize, Vec<f64>)> = (0..ranks)
+                            .filter(|&p| p != comm.rank())
+                            .map(|p| (p, vec![1.0; len]))
+                            .collect();
+                        comm.exchange(&peers, 0).len()
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce, bench_halo_exchange);
+criterion_main!(benches);

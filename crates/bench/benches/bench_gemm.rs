@@ -1,0 +1,56 @@
+//! Criterion benches of the GEMM kernel — the compute primitive behind
+//! every SDNet forward/backward pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mf_tensor::{gemm, Layout, Tensor};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn random(rng: &mut impl Rng, r: usize, c: usize) -> Tensor {
+    Tensor::from_fn(r, c, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+fn bench_square(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_square");
+    group.sample_size(20);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    for n in [32usize, 64, 128, 256] {
+        let a = random(&mut rng, n, n);
+        let b = random(&mut rng, n, n);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| a.matmul(&b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sdnet_shapes(c: &mut Criterion) {
+    // The first-layer shapes of the split model: [B,emb]·[emb,d]ᵀ plus
+    // [B·q,2]·[2,d]ᵀ vs the concat model's [B·q, emb+2]·[emb+2,d]ᵀ.
+    let mut group = c.benchmark_group("gemm_first_layer");
+    group.sample_size(20);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let (bsz, q, emb, d) = (8usize, 128usize, 128usize, 64usize);
+    let g = random(&mut rng, bsz, emb);
+    let wg = random(&mut rng, d, emb);
+    let x = random(&mut rng, bsz * q, 2);
+    let wx = random(&mut rng, d, 2);
+    let concat_in = random(&mut rng, bsz * q, emb + 2);
+    let w = random(&mut rng, d, emb + 2);
+
+    group.bench_function("split", |bch| {
+        bch.iter(|| {
+            let hg = gemm(&g, Layout::Normal, &wg, Layout::Transposed);
+            let hx = gemm(&x, Layout::Normal, &wx, Layout::Transposed);
+            hg.repeat_rows(q).add(&hx)
+        });
+    });
+    group.bench_function("concat", |bch| {
+        bch.iter(|| gemm(&concat_in, Layout::Normal, &w, Layout::Transposed));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_square, bench_sdnet_shapes);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benches of SDNet inference and the physics-informed training
+//! step — the kernel-level view of Fig. 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mf_bench::{bench_net_config, bench_spec};
+use mf_data::{BatchSampler, Dataset};
+use mf_nn::{EmbeddingKind, SdNet};
+use mf_tensor::Tensor;
+use mf_train::local_gradients;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_inference(c: &mut Criterion) {
+    let spec = bench_spec();
+    let split = SdNet::new(bench_net_config(spec), &mut ChaCha8Rng::seed_from_u64(0));
+    let mut concat = split.clone();
+    concat.config_mut().embedding = EmbeddingKind::Concat;
+    let b = 8usize;
+    let boundaries = Tensor::from_fn(b, spec.boundary_len(), |r, cc| {
+        ((r * 7 + cc) as f64 * 0.13).sin()
+    });
+
+    let mut group = c.benchmark_group("sdnet_inference");
+    group.sample_size(20);
+    for q in [16usize, 64, 256] {
+        let pts = Tensor::from_fn(b * q, 2, |r, cc| 0.01 * ((r + cc) % 50) as f64);
+        group.throughput(Throughput::Elements((b * q) as u64));
+        group.bench_with_input(BenchmarkId::new("split", q), &q, |bch, _| {
+            bch.iter(|| split.predict(&boundaries, &pts, q));
+        });
+        group.bench_with_input(BenchmarkId::new("concat", q), &q, |bch, _| {
+            bch.iter(|| concat.predict(&boundaries, &pts, q));
+        });
+    }
+    group.finish();
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let spec = bench_spec();
+    let net = SdNet::new(bench_net_config(spec), &mut ChaCha8Rng::seed_from_u64(0));
+    let ds = Dataset::generate(spec, 8, 0);
+    let mut group = c.benchmark_group("sdnet_train_step");
+    group.sample_size(10);
+    for q in [8usize, 32] {
+        let mut sampler = BatchSampler::new(8, q, q, 0);
+        let idx: Vec<usize> = (0..8).collect();
+        let batch = sampler.make_batch(&ds, &idx);
+        group.throughput(Throughput::Elements((8 * 2 * q) as u64));
+        group.bench_with_input(BenchmarkId::new("data+pde", 8 * 2 * q), &q, |bch, _| {
+            bch.iter(|| local_gradients(&net, &batch, 0.02));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_training_step);
+criterion_main!(benches);

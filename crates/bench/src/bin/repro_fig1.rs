@@ -1,0 +1,98 @@
+//! **Figure 1**: distributed Mosaic Flow vs a direct numerical solve on a
+//! 2×2 spatial domain with a Gaussian-process boundary condition.
+//!
+//! The paper shows the pyAMG solution, the distributed-MFP solution and
+//! their absolute difference on a 128×128 grid. This binary solves the
+//! same 2×2 spatial domain (65×65 grid by default, 129×129 with
+//! `--full`), prints the error statistics and renders a coarse ASCII map
+//! of the absolute difference.
+//!
+//! ```text
+//! cargo run -p mf-bench --release --bin repro_fig1 [--full]
+//! ```
+
+use mf_bench::*;
+use mf_mfp::{run_distributed, DistMfpConfig, DomainSpec, NeuralSolver, OracleSolver};
+use mf_tensor::Tensor;
+
+fn ascii_map(diff: &Tensor, levels: &str) {
+    let (ny, nx) = diff.shape();
+    let max = diff.norm_linf().max(1e-300);
+    let chars: Vec<char> = levels.chars().collect();
+    let step_j = (ny / 24).max(1);
+    let step_i = (nx / 48).max(1);
+    for j in (0..ny).step_by(step_j).rev() {
+        let mut line = String::new();
+        for i in (0..nx).step_by(step_i) {
+            let v = diff.get(j, i) / max;
+            let idx = ((v * (chars.len() - 1) as f64).round() as usize).min(chars.len() - 1);
+            line.push(chars[idx]);
+        }
+        println!("  {line}");
+    }
+}
+
+fn main() {
+    let spec = bench_spec();
+    // 2x2 spatial units = 4x4 atomic subdomains of 0.5 each.
+    let domain = DomainSpec::new(spec, 4, 4);
+    println!(
+        "Figure 1 reproduction: 2x2 spatial domain, {}x{} grid (paper: 128x128)",
+        domain.nx(),
+        domain.ny()
+    );
+    let bc = gp_boundary(&domain, 1);
+
+    println!("\n[1/3] reference: global multigrid solve (the paper's pyAMG role)");
+    let reference = reference_solution(&domain, &bc);
+
+    println!("[2/3] distributed MFP on 4 ranks with the numerical oracle solver");
+    let oracle = OracleSolver::new(spec, 1e-9);
+    let res_oracle = run_distributed(
+        &oracle,
+        &domain,
+        &bc,
+        4,
+        &DistMfpConfig { max_iters: 2000, tol: 1e-8, ..Default::default() },
+    );
+    let diff_oracle = res_oracle.grid.zip_map(&reference, |a, b| (a - b).abs());
+
+    println!("[3/3] distributed MFP on 4 ranks with a freshly trained SDNet");
+    let (samples, epochs) = if full_scale() { (600, 150) } else { (200, 60) };
+    let (net, val_mse) = train_sdnet(spec, samples, epochs, 0);
+    println!("      trained SDNet validation MSE: {val_mse:.5}");
+    let neural = NeuralSolver::new(net, spec);
+    let res_net = run_distributed(
+        &neural,
+        &domain,
+        &bc,
+        4,
+        &DistMfpConfig { max_iters: 400, tol: 1e-5, ..Default::default() },
+    );
+    let diff_net = res_net.grid.zip_map(&reference, |a, b| (a - b).abs());
+
+    print_table(
+        "Fig 1: distributed MFP vs direct numerical solve",
+        &["solver", "iterations", "MAE", "max |diff|"],
+        &[
+            vec![
+                "oracle".into(),
+                res_oracle.iterations.to_string(),
+                format!("{:.6}", res_oracle.grid.mean_abs_diff(&reference)),
+                format!("{:.6}", diff_oracle.norm_linf()),
+            ],
+            vec![
+                "SDNet".into(),
+                res_net.iterations.to_string(),
+                format!("{:.6}", res_net.grid.mean_abs_diff(&reference)),
+                format!("{:.6}", diff_net.norm_linf()),
+            ],
+        ],
+    );
+    println!(
+        "\npaper: the MFP prediction is visually indistinguishable from pyAMG;\n\
+         absolute difference concentrated near subdomain interfaces.\n"
+    );
+    println!("|MFP(SDNet) - reference| (dark = 0, bright = max):");
+    ascii_map(&diff_net, " .:-=+*#%@");
+}

@@ -1,0 +1,114 @@
+//! **Figure 6**: multi-device SDNet training — convergence vs epochs, and
+//! time-to-target-MSE as the device count grows.
+//!
+//! The paper trains with 1..32 A30 GPUs: all device counts reach final
+//! MSEs within 1.5e-6 of the single-GPU model (Fig 6a), and 32 GPUs reach
+//! the target MSE ~12× faster (Fig 6c). This host has one core, so
+//! per-device *work* is measured directly (it shrinks 1/P with sharded
+//! data) and the data-parallel step time is modeled as
+//! `measured-compute/P + ring-allreduce(model size)` with the A30-like
+//! alpha-beta model — the same substitution DESIGN.md documents.
+//!
+//! ```text
+//! cargo run -p mf-bench --release --bin repro_fig6 [--full]
+//! ```
+
+use mf_bench::*;
+use mf_data::Dataset;
+use mf_dist::PerfModel;
+use mf_nn::SdNet;
+use mf_opt::LrSchedule;
+use mf_train::trainer::{train_ddp, OptKind, TrainConfig};
+use mf_train::GradSync;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let spec = bench_spec();
+    let (samples, epochs) = if full_scale() { (480, 60) } else { (160, 24) };
+    let devices: Vec<usize> = if full_scale() { vec![1, 2, 4, 8, 16] } else { vec![1, 2, 4, 8] };
+
+    println!("Figure 6 reproduction: data-parallel SDNet training");
+    println!("dataset: {samples} samples, {epochs} epochs, LAMB, sqrt-scaled LR\n");
+
+    let dataset = Dataset::generate(spec, samples, 0);
+    let (train, val) = dataset.split(0.9);
+    let template = SdNet::new(bench_net_config(spec), &mut ChaCha8Rng::seed_from_u64(0));
+    let model_bytes = template.count_params() * 8;
+
+    let base = TrainConfig {
+        epochs,
+        batch_size: 8,
+        qd: 48,
+        qc: 16,
+        pde_weight: 0.02,
+        schedule: LrSchedule {
+            max_lr: 6e-3,
+            ..LrSchedule::paper_default(epochs * (train.len() / 8))
+        },
+        opt: OptKind::Lamb(0.0),
+        seed: 0,
+        clip_norm: None,
+    };
+
+    let model = PerfModel::a30_cluster();
+    let mut rows = Vec::new();
+    let mut curves: Vec<(usize, Vec<f64>)> = Vec::new();
+    let mut single_final = f64::NAN;
+    let mut single_modeled_time = f64::NAN;
+
+    for &p in &devices {
+        let t0 = std::time::Instant::now();
+        let res = train_ddp(p, &template, &train, &val, &base, GradSync::Fused);
+        let wall = t0.elapsed().as_secs_f64();
+        let final_mse = res.logs.last().unwrap().val_mse;
+        // Modeled data-parallel epoch time: the measured serialized wall
+        // clock divided over P devices (per-rank work is 1/P of the
+        // total) plus one ring allreduce of the model per step.
+        let steps = epochs * (train.len() / p / base.batch_size).max(1);
+        let allreduce_bytes_per_step = 2 * model_bytes; // reduce-scatter + allgather volume
+        let comm_time = steps as f64 * model.time(2 * (p - 1), allreduce_bytes_per_step);
+        let modeled = wall / p as f64 + comm_time;
+        if p == 1 {
+            single_final = final_mse;
+            single_modeled_time = modeled;
+        }
+        rows.push(vec![
+            p.to_string(),
+            format!("{final_mse:.5}"),
+            format!("{:+.5}", final_mse - single_final),
+            fmt_secs(modeled),
+            format!("{:.2}x", single_modeled_time / modeled),
+            format!("{:.1} MB", res.comm_stats[0].bytes_sent as f64 / 1e6),
+        ]);
+        curves.push((p, res.logs.iter().map(|l| l.val_mse).collect()));
+    }
+
+    print_table(
+        "Fig 6: DDP training across device counts",
+        &["devices", "final val MSE", "delta vs 1 dev", "modeled time", "speedup", "allreduce/rank"],
+        &rows,
+    );
+
+    println!("\nFig 6a: validation MSE vs epoch (every 4th epoch)");
+    print!("{:>8}", "epoch");
+    for (p, _) in &curves {
+        print!("{:>12}", format!("P={p}"));
+    }
+    println!();
+    let n_epochs = curves[0].1.len();
+    for e in (0..n_epochs).step_by(4).chain(std::iter::once(n_epochs - 1)) {
+        print!("{e:>8}");
+        for (_, c) in &curves {
+            print!("{:>12.5}", c[e]);
+        }
+        println!();
+    }
+
+    println!(
+        "\nshape check vs paper: every device count converges to a final MSE close\n\
+         to the single-device model (paper: within 1.5e-6 at its scale), while the\n\
+         modeled time-to-train shrinks with P until the allreduce floor (paper:\n\
+         30 min -> 2 min, ~12x on 32 GPUs)."
+    );
+}

@@ -1,0 +1,176 @@
+//! Mini-batch assembly for physics-informed training.
+
+use crate::dataset::{stack_boundaries, Dataset};
+use mf_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One training batch.
+///
+/// Coordinates are grouped per boundary: rows `[b·q, (b+1)·q)` of the point
+/// tensors belong to boundary `b`, matching
+/// [`SdNet::forward`](../../mf_nn/struct.SdNet.html#method.forward).
+#[derive(Clone, Debug)]
+pub struct Batch {
+    /// `[B, 4(m−1)]` boundary conditions.
+    pub boundaries: Tensor,
+    /// `[B·qd, 2]` coordinates of points with known solutions.
+    pub data_points: Tensor,
+    /// `[B·qd, 1]` ground-truth values at `data_points`.
+    pub data_values: Tensor,
+    /// `[B·qc, 2]` collocation coordinates (PDE residual only).
+    pub colloc_points: Tensor,
+    /// Data points per boundary.
+    pub qd: usize,
+    /// Collocation points per boundary.
+    pub qc: usize,
+}
+
+impl Batch {
+    /// Number of boundary conditions in the batch.
+    pub fn batch_size(&self) -> usize {
+        self.boundaries.rows()
+    }
+}
+
+/// Draws shuffled epochs of batches from a dataset.
+///
+/// `qd` data points per sample are drawn from the solved grid (interior
+/// and ring alike — both have known values); `qc` collocation points are
+/// uniform in the open subdomain.
+pub struct BatchSampler {
+    batch_size: usize,
+    qd: usize,
+    qc: usize,
+    rng: ChaCha8Rng,
+}
+
+impl BatchSampler {
+    /// New sampler. `batch_size` is the number of *boundary conditions*
+    /// per batch (the paper's "#domains"); total points per batch is
+    /// `batch_size · (qd + qc)`.
+    pub fn new(batch_size: usize, qd: usize, qc: usize, seed: u64) -> Self {
+        assert!(batch_size > 0 && qd > 0 && qc > 0, "BatchSampler: sizes must be positive");
+        Self { batch_size, qd, qc, rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+
+    /// One shuffled epoch over `ds` (last partial batch dropped, as in the
+    /// paper's DDP training where shards stay equally sized).
+    pub fn epoch(&mut self, ds: &Dataset) -> Vec<Batch> {
+        let mut idx: Vec<usize> = (0..ds.len()).collect();
+        idx.shuffle(&mut self.rng);
+        idx.chunks_exact(self.batch_size)
+            .map(|chunk| self.make_batch(ds, chunk))
+            .collect()
+    }
+
+    /// Assemble a batch from explicit sample indices.
+    pub fn make_batch(&mut self, ds: &Dataset, idx: &[usize]) -> Batch {
+        let spec = ds.spec;
+        let boundaries = stack_boundaries(ds, idx);
+        let mut dp = Vec::with_capacity(idx.len() * self.qd * 2);
+        let mut dv = Vec::with_capacity(idx.len() * self.qd);
+        let mut cp = Vec::with_capacity(idx.len() * self.qc * 2);
+        for &si in idx {
+            let sol = &ds.samples[si].solution;
+            for _ in 0..self.qd {
+                let j = self.rng.gen_range(0..spec.m);
+                let i = self.rng.gen_range(0..spec.m);
+                let (x, y) = spec.coords(j, i);
+                dp.push(x);
+                dp.push(y);
+                dv.push(sol.get(j, i));
+            }
+            for _ in 0..self.qc {
+                cp.push(self.rng.gen_range(0.0..spec.spatial));
+                cp.push(self.rng.gen_range(0.0..spec.spatial));
+            }
+        }
+        Batch {
+            boundaries,
+            data_points: Tensor::from_vec(idx.len() * self.qd, 2, dp),
+            data_values: Tensor::from_vec(idx.len() * self.qd, 1, dv),
+            colloc_points: Tensor::from_vec(idx.len() * self.qc, 2, cp),
+            qd: self.qd,
+            qc: self.qc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, SubdomainSpec};
+
+    fn tiny_dataset() -> Dataset {
+        Dataset::generate(SubdomainSpec { m: 9, spatial: 0.5 }, 6, 3)
+    }
+
+    #[test]
+    fn batch_shapes() {
+        let ds = tiny_dataset();
+        let mut bs = BatchSampler::new(2, 5, 7, 0);
+        let b = bs.make_batch(&ds, &[0, 1]);
+        assert_eq!(b.batch_size(), 2);
+        assert_eq!(b.boundaries.shape(), (2, 32));
+        assert_eq!(b.data_points.shape(), (10, 2));
+        assert_eq!(b.data_values.shape(), (10, 1));
+        assert_eq!(b.colloc_points.shape(), (14, 2));
+    }
+
+    #[test]
+    fn data_values_match_the_grid() {
+        let ds = tiny_dataset();
+        let spec = ds.spec;
+        let mut bs = BatchSampler::new(1, 20, 1, 1);
+        let b = bs.make_batch(&ds, &[2]);
+        for k in 0..20 {
+            let x = b.data_points.get(k, 0);
+            let y = b.data_points.get(k, 1);
+            let i = (x / spec.h()).round() as usize;
+            let j = (y / spec.h()).round() as usize;
+            assert!(
+                (b.data_values.get(k, 0) - ds.samples[2].solution.get(j, i)).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn collocation_points_stay_inside_the_subdomain() {
+        let ds = tiny_dataset();
+        let mut bs = BatchSampler::new(2, 2, 50, 2);
+        let b = bs.make_batch(&ds, &[0, 3]);
+        for k in 0..b.colloc_points.rows() {
+            for c in 0..2 {
+                let v = b.colloc_points.get(k, c);
+                assert!((0.0..0.5).contains(&v), "coordinate {v} escaped");
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_covers_dataset_in_batches() {
+        let ds = tiny_dataset();
+        let mut bs = BatchSampler::new(2, 3, 3, 4);
+        let batches = bs.epoch(&ds);
+        assert_eq!(batches.len(), 3);
+        for b in &batches {
+            assert_eq!(b.batch_size(), 2);
+        }
+    }
+
+    #[test]
+    fn epochs_are_shuffled() {
+        let ds = tiny_dataset();
+        let mut bs = BatchSampler::new(2, 3, 3, 5);
+        let e1 = bs.epoch(&ds);
+        let e2 = bs.epoch(&ds);
+        // With 6 samples the probability of identical shuffles is 1/720
+        // per epoch pair; compare the first boundary rows.
+        let same = e1[0].boundaries.allclose(&e2[0].boundaries, 0.0)
+            && e1[1].boundaries.allclose(&e2[1].boundaries, 0.0);
+        assert!(!same, "two epochs produced identical batch order");
+    }
+}

@@ -1,0 +1,223 @@
+//! Sample generation: GP boundaries solved with multigrid.
+
+use mf_gp::BoundarySampler;
+use mf_numerics::boundary::grid_with_boundary;
+use mf_numerics::{solve_dirichlet, Poisson};
+use mf_tensor::Tensor;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Geometry of the training subdomain.
+///
+/// The paper trains on a `0.5×0.5` spatial domain at `32×32` resolution;
+/// the defaults here use an odd point count so the multigrid ground-truth
+/// solver can coarsen (`m = 2^k + 1`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SubdomainSpec {
+    /// Grid points per side.
+    pub m: usize,
+    /// Physical edge length.
+    pub spatial: f64,
+}
+
+impl SubdomainSpec {
+    /// Paper-like default: 0.5×0.5 subdomain, 17 points per side
+    /// (laptop-scale stand-in for the paper's 32).
+    pub fn default_small() -> Self {
+        Self { m: 17, spatial: 0.5 }
+    }
+
+    /// Grid spacing.
+    pub fn h(&self) -> f64 {
+        self.spatial / (self.m - 1) as f64
+    }
+
+    /// Length of the boundary walk, `4(m−1)`.
+    pub fn boundary_len(&self) -> usize {
+        4 * (self.m - 1)
+    }
+
+    /// Local coordinates `(x, y)` of grid point `(row j, col i)`.
+    pub fn coords(&self, j: usize, i: usize) -> (f64, f64) {
+        (i as f64 * self.h(), j as f64 * self.h())
+    }
+}
+
+/// One solved boundary value problem.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Discretized boundary condition, `1×4(m−1)` (counter-clockwise walk).
+    pub boundary: Tensor,
+    /// Numerical solution on the full `m×m` grid.
+    pub solution: Tensor,
+}
+
+/// A set of solved BVPs on a fixed subdomain geometry.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Subdomain geometry shared by all samples.
+    pub spec: SubdomainSpec,
+    /// Solved samples.
+    pub samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Generate `count` samples: GP boundary curves (Sobol-swept
+    /// hyperparameters, periodic kernel) solved to `1e-9` residual with
+    /// multigrid/SOR. Deterministic in `seed`.
+    pub fn generate(spec: SubdomainSpec, count: usize, seed: u64) -> Self {
+        Self::generate_with(spec, count, seed, (0.3, 0.9), (0.4, 1.2))
+    }
+
+    /// [`Dataset::generate`] with explicit GP hyperparameter ranges
+    /// (length scale and signal variance of the periodic kernel). Shorter
+    /// length scales produce rougher boundary curves and a harder
+    /// learning problem.
+    pub fn generate_with(
+        spec: SubdomainSpec,
+        count: usize,
+        seed: u64,
+        lengthscale_range: (f64, f64),
+        variance_range: (f64, f64),
+    ) -> Self {
+        let mut sampler = BoundarySampler::new(
+            spec.boundary_len(),
+            lengthscale_range,
+            variance_range,
+            true,
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // Draw boundaries sequentially (the Sobol sweep is stateful), then
+        // solve in parallel.
+        let boundaries: Vec<Tensor> =
+            (0..count).map(|_| sampler.sample(&mut rng)).collect();
+        let samples: Vec<Sample> = boundaries
+            .into_par_iter()
+            .map(|boundary| {
+                let guess = grid_with_boundary(spec.m, spec.m, &boundary);
+                let problem = Poisson::laplace(spec.m, spec.m, spec.h());
+                let (solution, stats) = solve_dirichlet(&problem, &guess, 1e-9);
+                assert!(
+                    stats.converged,
+                    "ground-truth solve failed to converge: {stats:?}"
+                );
+                Sample { boundary, solution }
+            })
+            .collect();
+        Self { spec, samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Split into train/validation by fraction (train gets the first
+    /// `frac` of samples; generation order is already Sobol-shuffled in
+    /// hyperparameter space).
+    pub fn split(self, train_frac: f64) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&train_frac), "train_frac must be in [0,1]");
+        let n_train = (self.samples.len() as f64 * train_frac).round() as usize;
+        let mut train = self.samples;
+        let val = train.split_off(n_train.min(train.len()));
+        (
+            Dataset { spec: self.spec, samples: train },
+            Dataset { spec: self.spec, samples: val },
+        )
+    }
+
+    /// The shard of this dataset owned by `rank` out of `world` (strided,
+    /// like PyTorch's DistributedSampler).
+    pub fn shard(&self, rank: usize, world: usize) -> Dataset {
+        assert!(rank < world, "shard: rank {rank} out of {world}");
+        Dataset {
+            spec: self.spec,
+            samples: self
+                .samples
+                .iter()
+                .skip(rank)
+                .step_by(world)
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+/// Stack all boundary rows of a dataset into a `[len × 4(m−1)]` matrix.
+pub(crate) fn stack_boundaries(ds: &Dataset, idx: &[usize]) -> Tensor {
+    let rows: Vec<Tensor> = idx.iter().map(|&i| ds.samples[i].boundary.clone()).collect();
+    Tensor::vstack(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_numerics::boundary::extract_boundary;
+    use mf_numerics::residual_norm;
+
+    #[test]
+    fn spec_geometry() {
+        let s = SubdomainSpec { m: 17, spatial: 0.5 };
+        assert!((s.h() - 0.03125).abs() < 1e-15);
+        assert_eq!(s.boundary_len(), 64);
+        assert_eq!(s.coords(0, 16), (0.5, 0.0));
+        assert_eq!(s.coords(16, 0), (0.0, 0.5));
+    }
+
+    #[test]
+    fn generated_samples_solve_the_laplace_equation() {
+        let spec = SubdomainSpec::default_small();
+        let ds = Dataset::generate(spec, 3, 42);
+        assert_eq!(ds.len(), 3);
+        for s in &ds.samples {
+            let p = Poisson::laplace(spec.m, spec.m, spec.h());
+            assert!(
+                residual_norm(&p, &s.solution) < 1e-6,
+                "sample residual too large"
+            );
+            // Solution ring must match the boundary vector.
+            let b = extract_boundary(&s.solution);
+            assert!(b.allclose(&s.boundary, 1e-12));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let spec = SubdomainSpec { m: 9, spatial: 0.5 };
+        let a = Dataset::generate(spec, 2, 7);
+        let b = Dataset::generate(spec, 2, 7);
+        assert!(a.samples[1].boundary.allclose(&b.samples[1].boundary, 0.0));
+        let c = Dataset::generate(spec, 2, 8);
+        assert!(a.samples[0].boundary.max_abs_diff(&c.samples[0].boundary) > 1e-6);
+    }
+
+    #[test]
+    fn split_partitions_samples() {
+        let spec = SubdomainSpec { m: 9, spatial: 0.5 };
+        let ds = Dataset::generate(spec, 10, 1);
+        let (train, val) = ds.split(0.9);
+        assert_eq!(train.len(), 9);
+        assert_eq!(val.len(), 1);
+    }
+
+    #[test]
+    fn shards_are_disjoint_and_cover() {
+        let spec = SubdomainSpec { m: 9, spatial: 0.5 };
+        let ds = Dataset::generate(spec, 7, 2);
+        let world = 3;
+        let mut total = 0;
+        for rank in 0..world {
+            total += ds.shard(rank, world).len();
+        }
+        assert_eq!(total, 7);
+        // Strided: rank 0 gets samples 0, 3, 6.
+        let s0 = ds.shard(0, world);
+        assert!(s0.samples[1].boundary.allclose(&ds.samples[3].boundary, 0.0));
+    }
+}

@@ -1,0 +1,552 @@
+//! Ranks-as-threads cluster with MPI-flavored point-to-point and
+//! collective operations.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// A tagged message between ranks.
+#[derive(Clone, Debug)]
+struct Message {
+    src: usize,
+    tag: u64,
+    payload: Vec<f64>,
+}
+
+/// Communication counters for one rank.
+///
+/// `comm_seconds` is wall time spent inside blocking communication calls.
+/// On a single-core host the interesting outputs are `msgs_*`/`bytes_*`,
+/// which feed the [`PerfModel`](crate::PerfModel).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CommStats {
+    /// Point-to-point messages sent (collectives count their internal
+    /// messages).
+    pub msgs_sent: usize,
+    /// Payload bytes sent.
+    pub bytes_sent: usize,
+    /// Messages received.
+    pub msgs_recv: usize,
+    /// Payload bytes received.
+    pub bytes_recv: usize,
+    /// Wall-clock seconds inside communication calls.
+    pub comm_seconds: f64,
+}
+
+/// One rank's endpoint of the simulated cluster.
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    pending: Vec<Message>,
+    barrier: Arc<Barrier>,
+    stats: CommStats,
+}
+
+/// Factory for simulated clusters.
+pub struct Cluster;
+
+impl Cluster {
+    /// Run `f` on `size` ranks (threads) and collect the per-rank results
+    /// in rank order.
+    ///
+    /// Panics in any rank propagate (the whole run fails), mirroring an
+    /// MPI abort.
+    pub fn run<T, F>(size: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut Communicator) -> T + Send + Sync,
+    {
+        assert!(size >= 1, "Cluster::run: need at least one rank");
+        // Full mesh of channels: channel[dst] receives from anyone.
+        let mut senders_per_dst = Vec::with_capacity(size);
+        let mut receivers = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded();
+            senders_per_dst.push(tx);
+            receivers.push(rx);
+        }
+        let barrier = Arc::new(Barrier::new(size));
+
+        let mut comms: Vec<Communicator> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| Communicator {
+                rank,
+                size,
+                senders: senders_per_dst.clone(),
+                receiver,
+                pending: Vec::new(),
+                barrier: Arc::clone(&barrier),
+                stats: CommStats::default(),
+            })
+            .collect();
+        drop(senders_per_dst);
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .iter_mut()
+                .map(|comm| scope.spawn(|| f(comm)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        })
+    }
+}
+
+impl Communicator {
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Reset the counters (e.g. after warmup iterations).
+    pub fn reset_stats(&mut self) {
+        self.stats = CommStats::default();
+    }
+
+    /// Send `payload` to `dst` with a user tag. Non-blocking (buffered).
+    pub fn send(&mut self, dst: usize, tag: u64, payload: &[f64]) {
+        assert!(dst < self.size, "send: destination {dst} out of range");
+        let t0 = Instant::now();
+        self.senders[dst]
+            .send(Message { src: self.rank, tag, payload: payload.to_vec() })
+            .expect("send: cluster torn down");
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += payload.len() * 8;
+        self.stats.comm_seconds += t0.elapsed().as_secs_f64();
+    }
+
+    /// Blocking receive of the message with the given source and tag.
+    /// Other messages arriving first are buffered (MPI matching
+    /// semantics).
+    pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f64> {
+        let t0 = Instant::now();
+        // Check the out-of-order buffer first.
+        if let Some(pos) =
+            self.pending.iter().position(|m| m.src == src && m.tag == tag)
+        {
+            let m = self.pending.swap_remove(pos);
+            self.stats.msgs_recv += 1;
+            self.stats.bytes_recv += m.payload.len() * 8;
+            self.stats.comm_seconds += t0.elapsed().as_secs_f64();
+            return m.payload;
+        }
+        loop {
+            let m = self.receiver.recv().expect("recv: cluster torn down");
+            if m.src == src && m.tag == tag {
+                self.stats.msgs_recv += 1;
+                self.stats.bytes_recv += m.payload.len() * 8;
+                self.stats.comm_seconds += t0.elapsed().as_secs_f64();
+                return m.payload;
+            }
+            self.pending.push(m);
+        }
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&mut self) {
+        let t0 = Instant::now();
+        self.barrier.wait();
+        self.stats.comm_seconds += t0.elapsed().as_secs_f64();
+    }
+
+    /// Exchange buffers with a set of peers: send to every peer, then
+    /// receive one buffer from each. This is the halo-exchange primitive
+    /// of the distributed MFP (§4.2). Sends complete before any receive
+    /// blocks, so the pattern is deadlock-free.
+    pub fn exchange(&mut self, outgoing: &[(usize, Vec<f64>)], tag: u64) -> Vec<(usize, Vec<f64>)> {
+        for (dst, payload) in outgoing {
+            self.send(*dst, tag, payload);
+        }
+        outgoing
+            .iter()
+            .map(|(peer, _)| (*peer, self.recv(*peer, tag)))
+            .collect()
+    }
+
+    /// In-place ring allreduce (sum): reduce-scatter followed by
+    /// allgather, 2(P−1) messages per rank — the bandwidth-optimal
+    /// algorithm used by MPI/NCCL and cited by the paper for gradient
+    /// averaging.
+    pub fn allreduce_sum(&mut self, buf: &mut [f64]) {
+        let p = self.size;
+        if p == 1 {
+            return;
+        }
+        let n = buf.len();
+        if n == 0 {
+            self.barrier();
+            return;
+        }
+        // Chunk boundaries: chunk c covers [starts[c], starts[c+1]).
+        let starts: Vec<usize> = (0..=p).map(|c| c * n / p).collect();
+        let right = (self.rank + 1) % p;
+        let left = (self.rank + p - 1) % p;
+
+        // Reduce-scatter: after step s, rank r holds the partial sum of
+        // chunk (r - s) over ranks r-s..=r.
+        for step in 0..p - 1 {
+            let send_chunk = (self.rank + p - step) % p;
+            let recv_chunk = (self.rank + p - step - 1) % p;
+            let payload = buf[starts[send_chunk]..starts[send_chunk + 1]].to_vec();
+            self.send(right, tag_ar(step, false), &payload);
+            let incoming = self.recv(left, tag_ar(step, false));
+            let dst = &mut buf[starts[recv_chunk]..starts[recv_chunk + 1]];
+            for (d, v) in dst.iter_mut().zip(incoming) {
+                *d += v;
+            }
+        }
+        // Allgather the completed chunks around the ring.
+        for step in 0..p - 1 {
+            let send_chunk = (self.rank + 1 + p - step) % p;
+            let recv_chunk = (self.rank + p - step) % p;
+            let payload = buf[starts[send_chunk]..starts[send_chunk + 1]].to_vec();
+            self.send(right, tag_ar(step, true), &payload);
+            let incoming = self.recv(left, tag_ar(step, true));
+            buf[starts[recv_chunk]..starts[recv_chunk + 1]].copy_from_slice(&incoming);
+        }
+    }
+
+    /// Average `buf` across all ranks (allreduce-sum then divide) — the
+    /// gradient synchronization of Algorithm 1.
+    pub fn allreduce_mean(&mut self, buf: &mut [f64]) {
+        self.allreduce_sum(buf);
+        let inv = 1.0 / self.size as f64;
+        for v in buf.iter_mut() {
+            *v *= inv;
+        }
+    }
+
+    /// Gather every rank's buffer on every rank, indexed by rank.
+    pub fn allgather(&mut self, local: &[f64]) -> Vec<Vec<f64>> {
+        let mut out = vec![Vec::new(); self.size];
+        for dst in 0..self.size {
+            if dst != self.rank {
+                self.send(dst, TAG_ALLGATHER, local);
+            }
+        }
+        out[self.rank] = local.to_vec();
+        let me = self.rank;
+        for src in (0..self.size).filter(|&s| s != me) {
+            out[src] = self.recv(src, TAG_ALLGATHER);
+        }
+        out
+    }
+
+    /// Sum a single scalar across ranks (used for global convergence
+    /// tests in Algorithm 2).
+    pub fn allreduce_scalar(&mut self, v: f64) -> f64 {
+        let mut buf = [v];
+        self.allreduce_sum(&mut buf);
+        buf[0]
+    }
+
+    /// Broadcast `buf` from `root` to all ranks (binomial tree: O(log P)
+    /// rounds).
+    pub fn broadcast(&mut self, root: usize, buf: &mut Vec<f64>) {
+        assert!(root < self.size, "broadcast: root {root} out of range");
+        let p = self.size;
+        if p == 1 {
+            return;
+        }
+        // Re-index ranks so the root is virtual rank 0.
+        let vrank = (self.rank + p - root) % p;
+        let mut mask = 1usize;
+        // Receive once (if not root), then forward down the tree.
+        while mask < p {
+            if vrank & mask != 0 {
+                let src = (vrank - mask + root) % p;
+                *buf = self.recv(src, TAG_BCAST);
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if vrank & (mask - 1) == 0 && vrank & mask == 0 {
+                let vdst = vrank | mask;
+                if vdst < p {
+                    let dst = (vdst + root) % p;
+                    self.send(dst, TAG_BCAST, buf);
+                }
+            }
+            mask >>= 1;
+        }
+    }
+
+    /// Reduce-sum `buf` onto `root` (other ranks' buffers are left as
+    /// their partial sums; only the root holds the total).
+    pub fn reduce_sum_to(&mut self, root: usize, buf: &mut [f64]) {
+        assert!(root < self.size, "reduce_sum_to: root {root} out of range");
+        let p = self.size;
+        if p == 1 {
+            return;
+        }
+        let vrank = (self.rank + p - root) % p;
+        let mut mask = 1usize;
+        while mask < p {
+            if vrank & mask != 0 {
+                let dst = (vrank - mask + root) % p;
+                self.send(dst, TAG_REDUCE, buf);
+                return;
+            } else {
+                let vsrc = vrank | mask;
+                if vsrc < p {
+                    let src = (vsrc + root) % p;
+                    let incoming = self.recv(src, TAG_REDUCE);
+                    for (a, b) in buf.iter_mut().zip(incoming) {
+                        *a += b;
+                    }
+                }
+            }
+            mask <<= 1;
+        }
+    }
+}
+
+const TAG_ALLGATHER: u64 = u64::MAX - 1;
+const TAG_BCAST: u64 = u64::MAX - 2;
+const TAG_REDUCE: u64 = u64::MAX - 3;
+
+/// Internal tags for allreduce steps, kept far from user tags.
+fn tag_ar(step: usize, gather_phase: bool) -> u64 {
+    (u64::MAX - 1024) + step as u64 * 2 + gather_phase as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn single_rank_cluster_runs() {
+        let out = Cluster::run(1, |c| {
+            assert_eq!(c.size(), 1);
+            let mut v = vec![1.0, 2.0];
+            c.allreduce_sum(&mut v);
+            v
+        });
+        assert_eq!(out, vec![vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let out = Cluster::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 7, &[1.0, 2.0, 3.0]);
+                c.recv(1, 8)
+            } else {
+                let got = c.recv(0, 7);
+                c.send(0, 8, &[got.iter().sum()]);
+                got
+            }
+        });
+        assert_eq!(out[0], vec![6.0]);
+        assert_eq!(out[1], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let out = Cluster::run(2, |c| {
+            if c.rank() == 0 {
+                // Send tag 2 first, then tag 1.
+                c.send(1, 2, &[20.0]);
+                c.send(1, 1, &[10.0]);
+                vec![]
+            } else {
+                // Receive in the opposite order.
+                let a = c.recv(0, 1);
+                let b = c.recv(0, 2);
+                vec![a[0], b[0]]
+            }
+        });
+        assert_eq!(out[1], vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn allreduce_matches_sequential_sum() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for p in [2usize, 3, 4, 5, 8] {
+            for n in [1usize, 3, 7, 64, 100] {
+                let inputs: Vec<Vec<f64>> = (0..p)
+                    .map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                    .collect();
+                let expect: Vec<f64> =
+                    (0..n).map(|i| inputs.iter().map(|v| v[i]).sum()).collect();
+                let inputs_ref = &inputs;
+                let outs = Cluster::run(p, move |c| {
+                    let mut buf = inputs_ref[c.rank()].clone();
+                    c.allreduce_sum(&mut buf);
+                    buf
+                });
+                for (r, o) in outs.iter().enumerate() {
+                    for (a, e) in o.iter().zip(&expect) {
+                        assert!(
+                            (a - e).abs() < 1e-9,
+                            "p={p} n={n} rank {r}: {a} vs {e}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_mean_averages() {
+        let outs = Cluster::run(4, |c| {
+            let mut buf = vec![c.rank() as f64; 3];
+            c.allreduce_mean(&mut buf);
+            buf
+        });
+        for o in outs {
+            assert_eq!(o, vec![1.5, 1.5, 1.5]);
+        }
+    }
+
+    #[test]
+    fn allreduce_message_count_is_ring_optimal() {
+        let outs = Cluster::run(4, |c| {
+            let mut buf = vec![1.0; 16];
+            c.allreduce_sum(&mut buf);
+            c.stats()
+        });
+        for s in outs {
+            assert_eq!(s.msgs_sent, 2 * 3, "ring allreduce sends 2(P-1) messages");
+            assert_eq!(s.msgs_recv, 2 * 3);
+        }
+    }
+
+    #[test]
+    fn allgather_collects_in_rank_order() {
+        let outs = Cluster::run(3, |c| c.allgather(&[c.rank() as f64, 1.0]));
+        for o in outs {
+            assert_eq!(o, vec![vec![0.0, 1.0], vec![1.0, 1.0], vec![2.0, 1.0]]);
+        }
+    }
+
+    #[test]
+    fn exchange_is_symmetric_and_deadlock_free() {
+        // Every rank exchanges with every other rank simultaneously.
+        let outs = Cluster::run(4, |c| {
+            let peers: Vec<(usize, Vec<f64>)> = (0..4)
+                .filter(|&p| p != c.rank())
+                .map(|p| (p, vec![c.rank() as f64 * 10.0 + p as f64]))
+                .collect();
+            let mut got = c.exchange(&peers, 99);
+            got.sort_by_key(|(p, _)| *p);
+            got
+        });
+        // Rank 1 receives from peer p the value p*10 + 1.
+        let r1 = &outs[1];
+        assert_eq!(r1[0], (0, vec![1.0]));
+        assert_eq!(r1[1], (2, vec![21.0]));
+        assert_eq!(r1[2], (3, vec![31.0]));
+    }
+
+    #[test]
+    fn allreduce_scalar_sums() {
+        let outs = Cluster::run(5, |c| c.allreduce_scalar(c.rank() as f64));
+        for o in outs {
+            assert_eq!(o, 10.0);
+        }
+    }
+
+    #[test]
+    fn stats_count_bytes() {
+        let outs = Cluster::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 0, &[0.0; 10]);
+            } else {
+                let _ = c.recv(0, 0);
+            }
+            c.stats()
+        });
+        assert_eq!(outs[0].bytes_sent, 80);
+        assert_eq!(outs[1].bytes_recv, 80);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let outs = Cluster::run(4, |c| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            // After the barrier every rank must see all increments.
+            counter.load(Ordering::SeqCst)
+        });
+        for o in outs {
+            assert_eq!(o, 4);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for root in 0..5 {
+            let outs = Cluster::run(5, move |c| {
+                let mut buf = if c.rank() == root {
+                    vec![7.0, 8.0, 9.0]
+                } else {
+                    Vec::new()
+                };
+                c.broadcast(root, &mut buf);
+                buf
+            });
+            for (r, o) in outs.iter().enumerate() {
+                assert_eq!(o, &vec![7.0, 8.0, 9.0], "root {root}, rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sum_collects_on_root() {
+        for root in [0usize, 2] {
+            let outs = Cluster::run(4, move |c| {
+                let mut buf = vec![c.rank() as f64 + 1.0; 3];
+                c.reduce_sum_to(root, &mut buf);
+                (c.rank(), buf)
+            });
+            let (_, root_buf) = outs.iter().find(|(r, _)| *r == root).unwrap();
+            assert_eq!(root_buf, &vec![10.0; 3], "root {root}");
+        }
+    }
+
+    #[test]
+    fn reduce_then_broadcast_equals_allreduce() {
+        let outs = Cluster::run(6, |c| {
+            let mut a = vec![c.rank() as f64; 4];
+            c.reduce_sum_to(0, &mut a);
+            c.broadcast(0, &mut a);
+            let mut b = vec![c.rank() as f64; 4];
+            c.allreduce_sum(&mut b);
+            (a, b)
+        });
+        for (a, b) in outs {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn allreduce_with_fewer_elements_than_ranks() {
+        let outs = Cluster::run(6, |c| {
+            let mut buf = vec![1.0, 2.0];
+            c.allreduce_sum(&mut buf);
+            buf
+        });
+        for o in outs {
+            assert_eq!(o, vec![6.0, 12.0]);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Boundary-condition generation: Sobol sequences and 1-D Gaussian
+//! processes.
+//!
+//! The paper (§5.1) builds its datasets by (1) sampling the hyperparameters
+//! of an infinitely differentiable Gaussian kernel with a Sobol sequence,
+//! (2) drawing one sample function per Gaussian process, and (3) using that
+//! 1-D curve as the discretized boundary function `ĝ` of a Laplace BVP.
+//! This crate implements that pipeline from scratch:
+//!
+//! * [`Sobol`] — a direction-number Sobol sequence (Joe–Kuo initialization,
+//!   first 10 dimensions),
+//! * [`Kernel1d`] — squared-exponential and periodic squared-exponential
+//!   kernels (the boundary of a rectangle is a closed curve, so the
+//!   periodic kernel produces boundary functions with no corner jump),
+//! * [`cholesky`] — dense Cholesky factorization with jitter retry,
+//! * [`GpSampler`] / [`BoundarySampler`] — draw boundary curves.
+
+mod chol;
+mod kernel;
+mod sampler;
+mod sobol;
+
+pub use chol::{cholesky, CholeskyError};
+pub use kernel::{kernel_matrix, Kernel1d};
+pub use sampler::{standard_normal, BoundarySampler, GpSampler};
+pub use sobol::Sobol;

@@ -1,0 +1,195 @@
+//! Sobol low-discrepancy sequence with Joe–Kuo direction numbers.
+//!
+//! The paper uses a Sobol sequence to sweep Gaussian-process kernel
+//! hyperparameters evenly. This implementation covers the first 10
+//! dimensions with the standard new-Joe-Kuo-6 initialization and uses the
+//! Gray-code construction, so generating each point costs O(dim).
+
+/// Maximum supported dimensionality.
+pub const MAX_DIM: usize = 10;
+
+/// Bits of precision (outputs are multiples of 2⁻³²).
+const BITS: usize = 32;
+
+/// Joe–Kuo parameters for dimensions 2..=10: (s, a, m[0..s]).
+/// Dimension 1 is the van der Corput sequence in base 2.
+const JOE_KUO: &[(usize, u32, &[u32])] = &[
+    (1, 0, &[1]),
+    (2, 1, &[1, 3]),
+    (3, 1, &[1, 3, 1]),
+    (3, 2, &[1, 1, 1]),
+    (4, 1, &[1, 1, 3, 3]),
+    (4, 4, &[1, 3, 5, 13]),
+    (5, 2, &[1, 1, 5, 5, 17]),
+    (5, 4, &[1, 1, 5, 5, 5]),
+    (5, 7, &[1, 1, 7, 11, 19]),
+];
+
+/// A Sobol sequence iterator producing points in `[0, 1)^dim`.
+///
+/// The sequence starts at index 0 (the all-zeros point), preserving the
+/// exact dyadic stratification property of Sobol points: the first `2^k`
+/// points place the same number of samples in every dyadic box.
+pub struct Sobol {
+    dim: usize,
+    index: u64,
+    state: Vec<u32>,
+    directions: Vec<[u32; BITS]>,
+}
+
+impl Sobol {
+    /// A new sequence of the given dimensionality (1..=10).
+    pub fn new(dim: usize) -> Self {
+        assert!(
+            (1..=MAX_DIM).contains(&dim),
+            "Sobol supports 1..={MAX_DIM} dimensions, got {dim}"
+        );
+        let mut directions = Vec::with_capacity(dim);
+        // Dimension 1: v_k = 2^(31-k).
+        let mut v0 = [0u32; BITS];
+        for (k, v) in v0.iter_mut().enumerate() {
+            *v = 1 << (31 - k);
+        }
+        directions.push(v0);
+
+        for d in 1..dim {
+            let (s, a, m) = JOE_KUO[d - 1];
+            let mut v = [0u32; BITS];
+            for k in 0..BITS {
+                if k < s {
+                    v[k] = m[k] << (31 - k);
+                } else {
+                    let mut value = v[k - s] ^ (v[k - s] >> s);
+                    for j in 1..s {
+                        if (a >> (s - 1 - j)) & 1 == 1 {
+                            value ^= v[k - j];
+                        }
+                    }
+                    v[k] = value;
+                }
+            }
+            directions.push(v);
+        }
+
+        Self { dim, index: 0, state: vec![0; dim], directions }
+    }
+
+    /// Dimensionality of the sequence.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The next point, scaled into `[0, 1)^dim`.
+    pub fn next_point(&mut self) -> Vec<f64> {
+        // Emit the current state (point `index`), then advance with the
+        // Gray-code step: x_{n+1} = x_n ⊕ v[ctz(n+1)].
+        let out: Vec<f64> =
+            self.state.iter().map(|&s| s as f64 / (1u64 << 32) as f64).collect();
+        self.index += 1;
+        let c = (self.index.trailing_zeros() as usize).min(BITS - 1);
+        for d in 0..self.dim {
+            self.state[d] ^= self.directions[d][c];
+        }
+        out
+    }
+
+    /// The next point, affinely mapped into per-dimension ranges.
+    pub fn next_in_ranges(&mut self, ranges: &[(f64, f64)]) -> Vec<f64> {
+        assert_eq!(ranges.len(), self.dim, "next_in_ranges: range count mismatch");
+        self.next_point()
+            .into_iter()
+            .zip(ranges)
+            .map(|(t, &(lo, hi))| lo + t * (hi - lo))
+            .collect()
+    }
+}
+
+impl Iterator for Sobol {
+    type Item = Vec<f64>;
+
+    fn next(&mut self) -> Option<Vec<f64>> {
+        Some(self.next_point())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_dimension_is_van_der_corput() {
+        let mut s = Sobol::new(1);
+        let pts: Vec<f64> = (0..8).map(|_| s.next_point()[0]).collect();
+        assert_eq!(pts, vec![0.0, 0.5, 0.75, 0.25, 0.375, 0.875, 0.625, 0.125]);
+    }
+
+    #[test]
+    fn second_dimension_known_prefix() {
+        let mut s = Sobol::new(2);
+        let pts: Vec<Vec<f64>> = (0..4).map(|_| s.next_point()).collect();
+        assert_eq!(pts[0], vec![0.0, 0.0]);
+        assert_eq!(pts[1], vec![0.5, 0.5]);
+        assert_eq!(pts[2], vec![0.75, 0.25]);
+        assert_eq!(pts[3], vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn points_stay_in_unit_cube() {
+        let mut s = Sobol::new(5);
+        for _ in 0..1000 {
+            let p = s.next_point();
+            assert!(p.iter().all(|&x| (0.0..1.0).contains(&x)), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn dyadic_stratification_in_each_dimension() {
+        // The first 2^k points of a Sobol sequence place exactly 2^(k-m)
+        // points in every dyadic interval of length 2^-m, per dimension.
+        let dim = 4;
+        let mut s = Sobol::new(dim);
+        let n = 256;
+        let pts: Vec<Vec<f64>> = (0..n).map(|_| s.next_point()).collect();
+        for d in 0..dim {
+            let m = 4; // 16 intervals
+            let mut counts = vec![0usize; 1 << m];
+            for p in &pts {
+                counts[(p[d] * (1 << m) as f64) as usize] += 1;
+            }
+            for (i, &c) in counts.iter().enumerate() {
+                assert_eq!(c, n / (1 << m), "dim {d} interval {i}: count {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn low_discrepancy_beats_random_grid_pairwise() {
+        // 2-D stratification: the first 64 points put exactly one point in
+        // each cell of the 8x8 grid.
+        let mut s = Sobol::new(2);
+        let mut cells = vec![0usize; 64];
+        for _ in 0..64 {
+            let p = s.next_point();
+            let cx = (p[0] * 8.0) as usize;
+            let cy = (p[1] * 8.0) as usize;
+            cells[cy * 8 + cx] += 1;
+        }
+        assert!(cells.iter().all(|&c| c == 1), "{cells:?}");
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut s = Sobol::new(2);
+        for _ in 0..100 {
+            let p = s.next_in_ranges(&[(0.1, 0.5), (-2.0, 2.0)]);
+            assert!((0.1..0.5).contains(&p[0]));
+            assert!((-2.0..2.0).contains(&p[1]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions")]
+    fn rejects_unsupported_dimension() {
+        let _ = Sobol::new(11);
+    }
+}

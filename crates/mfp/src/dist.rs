@@ -1,0 +1,683 @@
+//! Distributed Mosaic Flow predictor — Algorithm 2 of the paper.
+//!
+//! The global domain is partitioned over a 2-D processor grid (row-scan or
+//! Morton rank placement). Each rank owns a half-open block of grid points
+//! and the overlapping subdomains whose centers fall inside it. One
+//! iteration is: sweep the four local groups with immediate local updates
+//! (batched inference), then exchange the owned lattice values in a band
+//! of half-a-subdomain width with up to eight neighbors — **once** per
+//! iteration (the relaxed synchronization of §4.2). A final dense pass
+//! fills the owned atomic subdomains and an allgather assembles the global
+//! solution.
+
+use crate::domain::{DomainSpec, Subdomain};
+use crate::seq::MaeTarget;
+use crate::solver::SubdomainSolver;
+use mf_dist::{CartesianGrid, Cluster, CommStats, Direction, RankOrder};
+use mf_numerics::boundary::apply_boundary;
+use mf_tensor::Tensor;
+use mf_dist::thread_cpu_time;
+
+/// Controls for [`run_distributed`].
+#[derive(Clone, Debug)]
+pub struct DistMfpConfig {
+    /// Maximum Schwarz iterations.
+    pub max_iters: usize,
+    /// Relative-change threshold (0 disables the check and its allreduce).
+    pub tol: f64,
+    /// Evaluate the convergence check every this many iterations.
+    pub check_every: usize,
+    /// Exchange halos every this many iterations (1 = Algorithm 2;
+    /// larger values are the communication-avoiding variant discussed in
+    /// §5.3 "Open problems").
+    pub comm_every: usize,
+    /// Rank placement on the processor grid.
+    pub order: RankOrder,
+    /// Optional reference-based stop (MAE on lattice points).
+    pub target: Option<MaeTarget>,
+    /// Coarse-grid lattice initialization before iterating (each rank
+    /// computes the same cheap coarse solve locally).
+    pub coarse_init: bool,
+}
+
+impl Default for DistMfpConfig {
+    fn default() -> Self {
+        Self {
+            max_iters: 1000,
+            tol: 1e-4,
+            check_every: 1,
+            comm_every: 1,
+            order: RankOrder::RowMajor,
+            target: None,
+            coarse_init: false,
+        }
+    }
+}
+
+/// Per-rank measurements of a distributed run.
+#[derive(Clone, Copy, Debug)]
+pub struct RankReport {
+    /// Rank id.
+    pub rank: usize,
+    /// Wall-clock seconds in subdomain solves (compute).
+    pub compute_seconds: f64,
+    /// Wall-clock seconds packing/unpacking halo buffers ("Boundaries IO"
+    /// in Fig. 9).
+    pub pack_seconds: f64,
+    /// Communication counters for the whole run (iteration loop + final
+    /// gather).
+    pub comm: CommStats,
+    /// Communication counters of the iteration loop only (halo exchanges
+    /// and convergence allreduces) — the per-iteration cost of §4.3.
+    pub halo: CommStats,
+    /// Overlapping subdomains owned by this rank.
+    pub owned_subdomains: usize,
+}
+
+/// Result of [`run_distributed`].
+#[derive(Clone, Debug)]
+pub struct DistMfpResult {
+    /// Assembled dense global solution.
+    pub grid: Tensor,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether a stop criterion fired.
+    pub converged: bool,
+    /// Relative lattice change at each performed check.
+    pub deltas: Vec<f64>,
+    /// `(iteration, lattice MAE)` history when a target was given.
+    pub mae_history: Vec<(usize, f64)>,
+    /// One report per rank.
+    pub reports: Vec<RankReport>,
+}
+
+/// Block partition of the global grid over a processor grid.
+struct Partition<'a> {
+    domain: &'a DomainSpec,
+    grid: CartesianGrid,
+}
+
+type Region = (std::ops::Range<usize>, std::ops::Range<usize>);
+
+impl<'a> Partition<'a> {
+    fn new(domain: &'a DomainSpec, ranks: usize, order: RankOrder) -> Self {
+        let grid = CartesianGrid::square_for(ranks, order);
+        assert_eq!(
+            domain.sx % grid.px(),
+            0,
+            "distributed MFP: {} atomic subdomains along x not divisible by {} processor columns",
+            domain.sx,
+            grid.px()
+        );
+        assert_eq!(
+            domain.sy % grid.py(),
+            0,
+            "distributed MFP: {} atomic subdomains along y not divisible by {} processor rows",
+            domain.sy,
+            grid.py()
+        );
+        Self { domain, grid }
+    }
+
+    /// Owned grid points of a rank: half-open `(rows, cols)`; edge ranks
+    /// absorb the final global row/column.
+    fn owned(&self, rank: usize) -> Region {
+        let (prow, pcol) = self.grid.coords_of(rank);
+        let step = self.domain.sub.m - 1;
+        let wx = self.domain.sx / self.grid.px() * step;
+        let wy = self.domain.sy / self.grid.py() * step;
+        let c0 = pcol * wx;
+        let c1 = if pcol + 1 == self.grid.px() { self.domain.nx() } else { (pcol + 1) * wx };
+        let r0 = prow * wy;
+        let r1 = if prow + 1 == self.grid.py() { self.domain.ny() } else { (prow + 1) * wy };
+        (r0..r1, c0..c1)
+    }
+
+    /// The band of `rank`'s owned points adjacent to its border in
+    /// direction `dir`, of half-subdomain width — the halo data its
+    /// neighbor in that direction needs.
+    fn band(&self, rank: usize, dir: Direction) -> Region {
+        let s = self.domain.shift();
+        let (rows, cols) = self.owned(rank);
+        let rows = match dir.offset().0 {
+            1 => rows.end - s..rows.end,
+            -1 => rows.start..rows.start + s,
+            _ => rows,
+        };
+        let cols = match dir.offset().1 {
+            1 => cols.end - s..cols.end,
+            -1 => cols.start..cols.start + s,
+            _ => cols,
+        };
+        (rows, cols)
+    }
+
+    /// Lattice values of a region, row-major.
+    fn pack(&self, grid: &Tensor, region: &Region) -> Vec<f64> {
+        let mut out = Vec::new();
+        for j in region.0.clone() {
+            for i in region.1.clone() {
+                if self.domain.on_lattice(j, i) {
+                    out.push(grid.get(j, i));
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`Partition::pack`].
+    fn unpack(&self, grid: &mut Tensor, region: &Region, data: &[f64]) {
+        let mut k = 0;
+        for j in region.0.clone() {
+            for i in region.1.clone() {
+                if self.domain.on_lattice(j, i) {
+                    grid.set(j, i, data[k]);
+                    k += 1;
+                }
+            }
+        }
+        assert_eq!(k, data.len(), "halo unpack: size mismatch");
+    }
+
+    /// All grid values of a region, row-major (final gather).
+    fn pack_dense(&self, grid: &Tensor, region: &Region) -> Vec<f64> {
+        let mut out = Vec::with_capacity(region.0.len() * region.1.len());
+        for j in region.0.clone() {
+            for i in region.1.clone() {
+                out.push(grid.get(j, i));
+            }
+        }
+        out
+    }
+
+    fn unpack_dense(&self, grid: &mut Tensor, region: &Region, data: &[f64]) {
+        let mut k = 0;
+        for j in region.0.clone() {
+            for i in region.1.clone() {
+                grid.set(j, i, data[k]);
+                k += 1;
+            }
+        }
+    }
+
+    /// Sum of squared lattice values over the owned region.
+    fn owned_lattice_sumsq(&self, grid: &Tensor, region: &Region) -> f64 {
+        let mut acc = 0.0;
+        for j in region.0.clone() {
+            for i in region.1.clone() {
+                if self.domain.on_lattice(j, i) {
+                    let v = grid.get(j, i);
+                    acc += v * v;
+                }
+            }
+        }
+        acc
+    }
+
+    fn owned_lattice_diff_sumsq(&self, a: &Tensor, b: &Tensor, region: &Region) -> f64 {
+        let mut acc = 0.0;
+        for j in region.0.clone() {
+            for i in region.1.clone() {
+                if self.domain.on_lattice(j, i) {
+                    let d = a.get(j, i) - b.get(j, i);
+                    acc += d * d;
+                }
+            }
+        }
+        acc
+    }
+
+    fn owned_lattice_absdiff_count(&self, a: &Tensor, b: &Tensor, region: &Region) -> (f64, usize) {
+        let mut acc = 0.0;
+        let mut n = 0;
+        for j in region.0.clone() {
+            for i in region.1.clone() {
+                if self.domain.on_lattice(j, i) {
+                    acc += (a.get(j, i) - b.get(j, i)).abs();
+                    n += 1;
+                }
+            }
+        }
+        (acc, n)
+    }
+}
+
+/// Run the distributed MF predictor on `ranks` simulated devices.
+///
+/// `bc` is the global boundary walk. The solver is shared by all ranks
+/// (read-only), mirroring each GPU holding a replica of the pre-trained
+/// SDNet.
+pub fn run_distributed<S: SubdomainSolver>(
+    solver: &S,
+    domain: &DomainSpec,
+    bc: &Tensor,
+    ranks: usize,
+    cfg: &DistMfpConfig,
+) -> DistMfpResult {
+    run_distributed_shifted(solver, domain, bc, 0.0, None, ranks, cfg)
+}
+
+/// [`run_distributed`] for the shifted operator `σu − Δu = f` (forcing on
+/// the full global grid) — the distributed form of the time-dependent
+/// extension. Every rank reads the shared forcing field; only the
+/// lattice values are communicated, exactly as in the Laplace case.
+pub fn run_distributed_shifted<S: SubdomainSolver>(
+    solver: &S,
+    domain: &DomainSpec,
+    bc: &Tensor,
+    sigma: f64,
+    forcing: Option<&Tensor>,
+    ranks: usize,
+    cfg: &DistMfpConfig,
+) -> DistMfpResult {
+    if let Some(f) = forcing {
+        assert_eq!(
+            f.shape(),
+            (domain.ny(), domain.nx()),
+            "run_distributed_shifted: forcing shape mismatch"
+        );
+    }
+    assert_eq!(
+        solver.spec(),
+        domain.sub,
+        "run_distributed: solver and domain geometry differ"
+    );
+    assert_eq!(bc.numel(), domain.boundary_len(), "run_distributed: bad boundary length");
+    let part = Partition::new(domain, ranks, cfg.order);
+    let part = &part;
+
+    let cross = domain.center_cross_offsets();
+    let cross_pts = domain.offsets_to_points(&cross);
+    let interior = domain.interior_offsets();
+    let interior_pts = domain.offsets_to_points(&interior);
+    let s = domain.shift();
+
+    let per_rank = Cluster::run(ranks, |comm| {
+        let rank = comm.rank();
+        let owned = part.owned(rank);
+        let neighbors = part.grid.neighbors(rank);
+
+        // Local copy of the global grid; only owned ∪ halo is maintained.
+        let mut u = Tensor::zeros(domain.ny(), domain.nx());
+        apply_boundary(&mut u, bc);
+        if cfg.coarse_init {
+            domain.coarse_initialize(&mut u);
+        }
+
+        // Owned overlapping subdomains, split into the four sweep groups.
+        let mut groups: [Vec<Subdomain>; 4] = Default::default();
+        for sd in domain.subdomains() {
+            let (ccol, crow) = (sd.ox + s, sd.oy + s);
+            if owned.0.contains(&crow) && owned.1.contains(&ccol) {
+                groups[domain.group_of(sd)].push(sd);
+            }
+        }
+        let owned_subdomains: usize = groups.iter().map(|g| g.len()).sum();
+
+        let mut compute_seconds = 0.0;
+        let mut pack_seconds = 0.0;
+        let mut deltas = Vec::new();
+        let mut mae_history = Vec::new();
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for it in 0..cfg.max_iters {
+            let prev = u.clone();
+
+            // Local sweeps with immediate updates (within-rank semantics
+            // of the baseline are preserved).
+            let t0 = thread_cpu_time();
+            for group in &groups {
+                if group.is_empty() {
+                    continue;
+                }
+                let boundaries = Tensor::vstack(
+                    &group
+                        .iter()
+                        .map(|&sd| domain.read_window_boundary(&u, sd))
+                        .collect::<Vec<_>>(),
+                );
+                let fw = forcing.map(|f| {
+                    Tensor::vstack(
+                        &group
+                            .iter()
+                            .map(|&sd| domain.read_window_field(f, sd))
+                            .collect::<Vec<_>>(),
+                    )
+                });
+                let preds =
+                    solver.solve_batch_shifted(sigma, &boundaries, fw.as_ref(), &cross_pts);
+                let q = cross.len();
+                for (bi, &sd) in group.iter().enumerate() {
+                    for (k, &(j, i)) in cross.iter().enumerate() {
+                        u.set(sd.oy + j, sd.ox + i, preds.get(bi * q + k, 0));
+                    }
+                }
+            }
+            compute_seconds += thread_cpu_time() - t0;
+            iterations = it + 1;
+
+            // Relaxed synchronization: one halo exchange per iteration
+            // (or every `comm_every` iterations).
+            if iterations % cfg.comm_every == 0 {
+                let t1 = thread_cpu_time();
+                let outgoing: Vec<(usize, Vec<f64>)> = neighbors
+                    .iter()
+                    .map(|&(dir, nbr)| (nbr, part.pack(&u, &part.band(rank, dir))))
+                    .collect();
+                pack_seconds += thread_cpu_time() - t1;
+                let incoming = comm.exchange(&outgoing, it as u64);
+                let t2 = thread_cpu_time();
+                for ((dir, nbr), (peer, data)) in neighbors.iter().zip(incoming) {
+                    debug_assert_eq!(*nbr, peer);
+                    // The neighbor sent its own band facing us.
+                    let region = part.band(*nbr, dir.opposite());
+                    part.unpack(&mut u, &region, &data);
+                }
+                pack_seconds += thread_cpu_time() - t2;
+            }
+
+            // Global convergence check (Algorithm 2, line 5).
+            if cfg.tol > 0.0 && iterations % cfg.check_every == 0 {
+                let mut nums = [
+                    part.owned_lattice_diff_sumsq(&u, &prev, &owned),
+                    part.owned_lattice_sumsq(&prev, &owned),
+                ];
+                comm.allreduce_sum(&mut nums);
+                let delta = (nums[0] / nums[1].max(f64::MIN_POSITIVE)).sqrt();
+                deltas.push(delta);
+                if delta < cfg.tol {
+                    converged = true;
+                    break;
+                }
+            }
+            if let Some(t) = &cfg.target {
+                if iterations % t.every == 0 {
+                    let (local_abs, local_n) =
+                        part.owned_lattice_absdiff_count(&u, &t.reference, &owned);
+                    let mut buf = [local_abs, local_n as f64];
+                    comm.allreduce_sum(&mut buf);
+                    let mae = buf[0] / buf[1].max(1.0);
+                    mae_history.push((iterations, mae));
+                    if mae <= t.mae {
+                        converged = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        let halo_stats = comm.stats();
+
+        // Final phase: dense prediction of owned atomic subdomains.
+        let t0 = thread_cpu_time();
+        let atoms: Vec<Subdomain> = domain
+            .atomic_subdomains()
+            .into_iter()
+            .filter(|sd| {
+                // An atomic subdomain belongs to the rank owning its
+                // lower-left corner (blocks align with rank boundaries).
+                owned.0.contains(&sd.oy) && owned.1.contains(&sd.ox)
+            })
+            .collect();
+        if !atoms.is_empty() {
+            let boundaries = Tensor::vstack(
+                &atoms
+                    .iter()
+                    .map(|&sd| domain.read_window_boundary(&u, sd))
+                    .collect::<Vec<_>>(),
+            );
+            let fw = forcing.map(|f| {
+                Tensor::vstack(
+                    &atoms.iter().map(|&sd| domain.read_window_field(f, sd)).collect::<Vec<_>>(),
+                )
+            });
+            let preds =
+                solver.solve_batch_shifted(sigma, &boundaries, fw.as_ref(), &interior_pts);
+            let q = interior.len();
+            for (bi, &sd) in atoms.iter().enumerate() {
+                for (k, &(j, i)) in interior.iter().enumerate() {
+                    u.set(sd.oy + j, sd.ox + i, preds.get(bi * q + k, 0));
+                }
+            }
+        }
+        compute_seconds += thread_cpu_time() - t0;
+
+        // Allgather the owned dense blocks and assemble the global grid.
+        let t1 = thread_cpu_time();
+        let local = part.pack_dense(&u, &owned);
+        pack_seconds += thread_cpu_time() - t1;
+        let gathered = comm.allgather(&local);
+        let t2 = thread_cpu_time();
+        let mut global = Tensor::zeros(domain.ny(), domain.nx());
+        apply_boundary(&mut global, bc);
+        for (r, data) in gathered.iter().enumerate() {
+            let region = part.owned(r);
+            part.unpack_dense(&mut global, &region, data);
+        }
+        pack_seconds += thread_cpu_time() - t2;
+
+        let report = RankReport {
+            rank,
+            compute_seconds,
+            pack_seconds,
+            comm: comm.stats(),
+            halo: halo_stats,
+            owned_subdomains,
+        };
+        (global, iterations, converged, deltas, mae_history, report)
+    });
+
+    let reports: Vec<RankReport> = per_rank.iter().map(|r| r.5).collect();
+    let (grid, iterations, converged, deltas, mae_history, _) =
+        per_rank.into_iter().next().unwrap();
+    DistMfpResult { grid, iterations, converged, deltas, mae_history, reports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{Mfp, MfpConfig};
+    use crate::solver::OracleSolver;
+    use mf_data::SubdomainSpec;
+    use mf_numerics::boundary::boundary_coords;
+
+    fn spec() -> SubdomainSpec {
+        SubdomainSpec { m: 9, spatial: 0.5 }
+    }
+
+    fn harmonic_bc(d: &DomainSpec) -> Tensor {
+        let h = d.h();
+        let f = |x: f64, y: f64| x * x - y * y + 0.5 * x;
+        let coords = boundary_coords(d.ny(), d.nx());
+        Tensor::from_vec(
+            1,
+            coords.len(),
+            coords.iter().map(|&(j, i)| f(i as f64 * h, j as f64 * h)).collect(),
+        )
+    }
+
+    #[test]
+    fn one_rank_matches_sequential_mfp() {
+        let d = DomainSpec::new(spec(), 2, 2);
+        let oracle = OracleSolver::new(spec(), 1e-10);
+        let bc = harmonic_bc(&d);
+        let seq = Mfp::new(&oracle, d).run(
+            &bc,
+            &MfpConfig { max_iters: 20, tol: 0.0, batched: true, target: None, coarse_init: false },
+        );
+        let dist = run_distributed(
+            &oracle,
+            &d,
+            &bc,
+            1,
+            &DistMfpConfig { max_iters: 20, tol: 0.0, ..Default::default() },
+        );
+        assert_eq!(dist.iterations, 20);
+        assert!(
+            dist.grid.max_abs_diff(&seq.grid) < 1e-12,
+            "P=1 distributed deviates from sequential: {}",
+            dist.grid.max_abs_diff(&seq.grid)
+        );
+    }
+
+    #[test]
+    fn four_ranks_converge_to_the_sequential_solution() {
+        let d = DomainSpec::new(spec(), 2, 2);
+        let oracle = OracleSolver::new(spec(), 1e-10);
+        let bc = harmonic_bc(&d);
+        let seq = Mfp::new(&oracle, d).run(
+            &bc,
+            &MfpConfig { max_iters: 400, tol: 1e-9, batched: true, target: None, coarse_init: false },
+        );
+        assert!(seq.converged);
+        let dist = run_distributed(
+            &oracle,
+            &d,
+            &bc,
+            4,
+            &DistMfpConfig { max_iters: 400, tol: 1e-9, ..Default::default() },
+        );
+        assert!(dist.converged, "distributed run did not converge");
+        let diff = dist.grid.mean_abs_diff(&seq.grid);
+        assert!(diff < 1e-5, "distributed vs sequential MAE {diff}");
+    }
+
+    #[test]
+    fn relaxation_costs_iterations_but_not_correctness() {
+        // More ranks ⇒ staler interfaces ⇒ same or more iterations to the
+        // same tolerance (Table 4's trend), with the same fixed point.
+        let d = DomainSpec::new(spec(), 2, 2);
+        let oracle = OracleSolver::new(spec(), 1e-10);
+        let bc = harmonic_bc(&d);
+        let run = |p: usize| {
+            run_distributed(
+                &oracle,
+                &d,
+                &bc,
+                p,
+                &DistMfpConfig { max_iters: 500, tol: 1e-8, ..Default::default() },
+            )
+        };
+        let r1 = run(1);
+        let r4 = run(4);
+        assert!(r1.converged && r4.converged);
+        assert!(
+            r4.iterations >= r1.iterations,
+            "P=4 ({}) should need at least as many iterations as P=1 ({})",
+            r4.iterations,
+            r1.iterations
+        );
+        assert!(r1.grid.mean_abs_diff(&r4.grid) < 1e-5);
+    }
+
+    #[test]
+    fn communication_avoiding_variant_still_converges() {
+        let d = DomainSpec::new(spec(), 2, 2);
+        let oracle = OracleSolver::new(spec(), 1e-10);
+        let bc = harmonic_bc(&d);
+        let every1 = run_distributed(
+            &oracle,
+            &d,
+            &bc,
+            4,
+            &DistMfpConfig { max_iters: 600, tol: 1e-8, comm_every: 1, ..Default::default() },
+        );
+        let every4 = run_distributed(
+            &oracle,
+            &d,
+            &bc,
+            4,
+            &DistMfpConfig { max_iters: 600, tol: 1e-8, comm_every: 4, ..Default::default() },
+        );
+        assert!(every1.converged && every4.converged);
+        // Same solution; fewer halo messages, possibly more iterations.
+        assert!(every1.grid.mean_abs_diff(&every4.grid) < 1e-4);
+        let bytes = |r: &DistMfpResult| {
+            r.reports.iter().map(|rep| rep.comm.bytes_sent).sum::<usize>()
+        };
+        // Halo payloads dominate byte volume; skipping 3 of 4 exchanges
+        // must cut it even if convergence takes more iterations.
+        assert!(
+            bytes(&every4) < bytes(&every1),
+            "comm-avoiding variant did not reduce byte volume: {} vs {}",
+            bytes(&every4),
+            bytes(&every1)
+        );
+    }
+
+    #[test]
+    fn morton_and_row_major_orders_agree() {
+        let d = DomainSpec::new(spec(), 2, 2);
+        let oracle = OracleSolver::new(spec(), 1e-10);
+        let bc = harmonic_bc(&d);
+        let a = run_distributed(
+            &oracle,
+            &d,
+            &bc,
+            4,
+            &DistMfpConfig { max_iters: 300, tol: 1e-8, order: RankOrder::RowMajor, ..Default::default() },
+        );
+        let b = run_distributed(
+            &oracle,
+            &d,
+            &bc,
+            4,
+            &DistMfpConfig { max_iters: 300, tol: 1e-8, order: RankOrder::Morton, ..Default::default() },
+        );
+        assert!(a.converged && b.converged);
+        assert!(a.grid.mean_abs_diff(&b.grid) < 1e-6);
+    }
+
+    #[test]
+    fn distributed_shifted_matches_sequential_shifted() {
+        // The heat-step operator, distributed over 4 ranks, must agree
+        // with the sequential shifted MFP.
+        let d = DomainSpec::new(spec(), 2, 2);
+        let oracle = OracleSolver::new(spec(), 1e-10);
+        let sigma = 60.0;
+        let forcing = Tensor::from_fn(d.ny(), d.nx(), |j, i| {
+            ((j as f64) * 0.3).sin() * ((i as f64) * 0.2).cos()
+        });
+        let bc = Tensor::zeros(1, d.boundary_len());
+        let seq = Mfp::new(&oracle, d).run_shifted(
+            &bc,
+            sigma,
+            Some(&forcing),
+            &MfpConfig { max_iters: 300, tol: 1e-9, ..Default::default() },
+        );
+        assert!(seq.converged);
+        let dist = crate::dist::run_distributed_shifted(
+            &oracle,
+            &d,
+            &bc,
+            sigma,
+            Some(&forcing),
+            4,
+            &DistMfpConfig { max_iters: 300, tol: 1e-9, ..Default::default() },
+        );
+        assert!(dist.converged);
+        let mae = dist.grid.mean_abs_diff(&seq.grid);
+        assert!(mae < 1e-6, "distributed vs sequential shifted MAE {mae}");
+    }
+
+    #[test]
+    fn reports_account_for_every_subdomain() {
+        let d = DomainSpec::new(spec(), 4, 2);
+        let oracle = OracleSolver::new(spec(), 1e-9);
+        let bc = harmonic_bc(&d);
+        let r = run_distributed(
+            &oracle,
+            &d,
+            &bc,
+            4,
+            &DistMfpConfig { max_iters: 3, tol: 0.0, ..Default::default() },
+        );
+        let total: usize = r.reports.iter().map(|rep| rep.owned_subdomains).sum();
+        assert_eq!(total, d.subdomains().len());
+        // Compute time is recorded on every rank.
+        for rep in &r.reports {
+            assert!(rep.compute_seconds > 0.0);
+        }
+    }
+}

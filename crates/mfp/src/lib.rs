@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! The Mosaic Flow predictor (MFP): solving boundary value problems on
+//! large domains purely by inference over a pre-trained subdomain solver.
+//!
+//! The domain is covered by **overlapping subdomains** placed on a lattice
+//! with spacing of half a subdomain (the paper's `½m` interval, Fig. 2).
+//! The solution lives only on the lattice lines; each iteration feeds every
+//! subdomain's boundary (read from the lattice) to the subdomain solver and
+//! writes back the predicted **center cross**, which is a boundary line of
+//! the neighboring subdomains — an alternating-Schwarz sweep that touches a
+//! small fraction of the grid points. A final dense pass fills the atomic
+//! (non-overlapping) subdomains.
+//!
+//! Three execution modes reproduce the paper's §4/§5:
+//!
+//! * [`Mfp`] *unbatched* — one subdomain inference at a time (the original
+//!   Mosaic Flow baseline),
+//! * [`Mfp`] *batched* — the non-overlapping subdomains of each sweep
+//!   group are solved in one batched inference (§4.1),
+//! * [`run_distributed`] — Algorithm 2: the domain is split over a 2-D
+//!   processor grid; each rank sweeps its own subdomains with immediate
+//!   local updates and exchanges halo lattice values with ≤8 neighbors
+//!   **once per iteration** (relaxed synchronization).
+//!
+//! The [`SubdomainSolver`] trait abstracts the subdomain solver: a trained
+//! [`NeuralSolver`] (SDNet) or the numerical [`OracleSolver`] (multigrid),
+//! which isolates the convergence behaviour of the distributed algorithm
+//! from neural-model error.
+
+mod dist;
+mod domain;
+#[cfg(test)]
+mod lattice_proptests;
+mod seq;
+mod solver;
+
+pub use dist::{run_distributed, run_distributed_shifted, DistMfpConfig, DistMfpResult, RankReport};
+pub use domain::{DomainSpec, Subdomain};
+pub use seq::{MaeTarget, Mfp, MfpConfig, MfpResult};
+pub use solver::{NeuralSolver, OracleSolver, SubdomainSolver};

@@ -1,0 +1,512 @@
+//! Single-process Mosaic Flow predictor: the baseline (unbatched) and the
+//! device-parallel batched variant (§4.1).
+
+use crate::domain::{DomainSpec, Subdomain};
+use crate::solver::SubdomainSolver;
+use mf_numerics::boundary::apply_boundary;
+use mf_tensor::Tensor;
+
+/// Early-stop criterion based on a reference solution (used by the
+/// strong-scaling experiments, which iterate until MAE ≤ 0.05).
+#[derive(Clone, Debug)]
+pub struct MaeTarget {
+    /// Reference solution on the full global grid.
+    pub reference: Tensor,
+    /// Stop once the lattice MAE against the reference drops below this.
+    pub mae: f64,
+    /// Check every this many iterations.
+    pub every: usize,
+}
+
+/// Iteration controls for [`Mfp::run`].
+#[derive(Clone, Debug)]
+pub struct MfpConfig {
+    /// Maximum Schwarz iterations.
+    pub max_iters: usize,
+    /// Relative-change convergence threshold `δ` (Algorithm 2, line 5);
+    /// set to 0 to disable.
+    pub tol: f64,
+    /// Batch each sweep group into one inference (§4.1) instead of solving
+    /// one subdomain at a time.
+    pub batched: bool,
+    /// Optional reference-based stop.
+    pub target: Option<MaeTarget>,
+    /// Initialize the lattice from a coarse global solve before
+    /// iterating (the coarse-grid correction of §5.3's cited future
+    /// work) — typically cuts the iteration count severalfold on large
+    /// domains.
+    pub coarse_init: bool,
+}
+
+impl Default for MfpConfig {
+    fn default() -> Self {
+        Self { max_iters: 1000, tol: 1e-4, batched: true, target: None, coarse_init: false }
+    }
+}
+
+/// Outcome of an MFP run.
+#[derive(Clone, Debug)]
+pub struct MfpResult {
+    /// Dense solution on the global grid.
+    pub grid: Tensor,
+    /// Schwarz iterations performed.
+    pub iterations: usize,
+    /// Whether a stop criterion fired before `max_iters`.
+    pub converged: bool,
+    /// Relative lattice change per iteration.
+    pub deltas: Vec<f64>,
+    /// `(iteration, lattice MAE)` history when a target was given.
+    pub mae_history: Vec<(usize, f64)>,
+}
+
+/// The Mosaic Flow predictor bound to a solver and a domain.
+pub struct Mfp<'a, S: SubdomainSolver> {
+    solver: &'a S,
+    domain: DomainSpec,
+}
+
+impl<'a, S: SubdomainSolver> Mfp<'a, S> {
+    /// Bind a solver to a domain (geometries must match).
+    pub fn new(solver: &'a S, domain: DomainSpec) -> Self {
+        assert_eq!(
+            solver.spec(),
+            domain.sub,
+            "Mfp: solver and domain subdomain geometry differ"
+        );
+        Self { solver, domain }
+    }
+
+    /// The bound domain.
+    pub fn domain(&self) -> &DomainSpec {
+        &self.domain
+    }
+
+    /// Solve the BVP given the global boundary walk `bc`
+    /// (`1×boundary_len`).
+    pub fn run(&self, bc: &Tensor, cfg: &MfpConfig) -> MfpResult {
+        self.run_shifted(bc, 0.0, None, cfg)
+    }
+
+    /// Solve the shifted problem `σu − Δu = f` with `f` given on the full
+    /// global grid. With `σ = 1/(α·Δt)` and `f = σ·uⁿ` this is one
+    /// implicit-Euler step of the heat equation — the time-dependent
+    /// extension hypothesized in §5.3 of the paper. Requires a subdomain
+    /// solver that implements
+    /// [`SubdomainSolver::solve_batch_shifted`] (the oracle does).
+    pub fn run_shifted(
+        &self,
+        bc: &Tensor,
+        sigma: f64,
+        forcing: Option<&Tensor>,
+        cfg: &MfpConfig,
+    ) -> MfpResult {
+        let d = &self.domain;
+        if let Some(f) = forcing {
+            assert_eq!(f.shape(), (d.ny(), d.nx()), "run_shifted: forcing shape mismatch");
+        }
+        assert_eq!(
+            bc.numel(),
+            d.boundary_len(),
+            "Mfp::run: global boundary has wrong length"
+        );
+        let mut grid = Tensor::zeros(d.ny(), d.nx());
+        apply_boundary(&mut grid, bc);
+        if cfg.coarse_init {
+            d.coarse_initialize(&mut grid);
+        }
+
+        let groups = self.sweep_groups();
+        let cross = d.center_cross_offsets();
+        let cross_pts = d.offsets_to_points(&cross);
+
+        let mut deltas = Vec::new();
+        let mut mae_history = Vec::new();
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for it in 0..cfg.max_iters {
+            let prev = grid.clone();
+            for group in &groups {
+                self.sweep_group(&mut grid, group, &cross, &cross_pts, cfg.batched, sigma, forcing);
+            }
+            iterations = it + 1;
+
+            let delta = {
+                let num = d.lattice_diff_sumsq(&grid, &prev);
+                let den = d.lattice_sumsq(&prev).max(f64::MIN_POSITIVE);
+                (num / den).sqrt()
+            };
+            deltas.push(delta);
+            if cfg.tol > 0.0 && delta < cfg.tol {
+                converged = true;
+                break;
+            }
+            if let Some(t) = &cfg.target {
+                if iterations % t.every == 0 {
+                    let mae = d.lattice_mae(&grid, &t.reference);
+                    mae_history.push((iterations, mae));
+                    if mae <= t.mae {
+                        converged = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        self.dense_fill_shifted(&mut grid, sigma, forcing);
+        MfpResult { grid, iterations, converged, deltas, mae_history }
+    }
+
+    /// The four non-overlapping sweep groups, in a fixed alternating
+    /// order.
+    pub fn sweep_groups(&self) -> [Vec<Subdomain>; 4] {
+        let mut groups: [Vec<Subdomain>; 4] = Default::default();
+        for sd in self.domain.subdomains() {
+            groups[self.domain.group_of(sd)].push(sd);
+        }
+        groups
+    }
+
+    /// Run one group's inferences and write the center crosses back.
+    /// `batched = false` issues one inference per subdomain (the original
+    /// baseline); within a group the results are identical because group
+    /// members never overlap.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_group(
+        &self,
+        grid: &mut Tensor,
+        group: &[Subdomain],
+        cross: &[(usize, usize)],
+        cross_pts: &Tensor,
+        batched: bool,
+        sigma: f64,
+        forcing: Option<&Tensor>,
+    ) {
+        if group.is_empty() {
+            return;
+        }
+        let window_forcings = |sds: &[Subdomain]| {
+            forcing.map(|f| {
+                Tensor::vstack(
+                    &sds.iter()
+                        .map(|&sd| self.domain.read_window_field(f, sd))
+                        .collect::<Vec<_>>(),
+                )
+            })
+        };
+        if batched {
+            let boundaries = Tensor::vstack(
+                &group
+                    .iter()
+                    .map(|&sd| self.domain.read_window_boundary(grid, sd))
+                    .collect::<Vec<_>>(),
+            );
+            let fw = window_forcings(group);
+            let preds =
+                self.solver.solve_batch_shifted(sigma, &boundaries, fw.as_ref(), cross_pts);
+            let q = cross.len();
+            for (bi, &sd) in group.iter().enumerate() {
+                for (k, &(j, i)) in cross.iter().enumerate() {
+                    grid.set(sd.oy + j, sd.ox + i, preds.get(bi * q + k, 0));
+                }
+            }
+        } else {
+            for &sd in group {
+                let boundary = self.domain.read_window_boundary(grid, sd);
+                let fw = window_forcings(&[sd]);
+                let preds =
+                    self.solver.solve_batch_shifted(sigma, &boundary, fw.as_ref(), cross_pts);
+                for (k, &(j, i)) in cross.iter().enumerate() {
+                    grid.set(sd.oy + j, sd.ox + i, preds.get(k, 0));
+                }
+            }
+        }
+    }
+
+    /// Final dense pass: predict every interior point of every atomic
+    /// subdomain from its current lattice boundary.
+    pub fn dense_fill(&self, grid: &mut Tensor) {
+        self.dense_fill_shifted(grid, 0.0, None)
+    }
+
+    /// Dense pass for the shifted operator.
+    pub fn dense_fill_shifted(&self, grid: &mut Tensor, sigma: f64, forcing: Option<&Tensor>) {
+        let d = &self.domain;
+        let interior = d.interior_offsets();
+        let pts = d.offsets_to_points(&interior);
+        let atoms = d.atomic_subdomains();
+        let boundaries = Tensor::vstack(
+            &atoms
+                .iter()
+                .map(|&sd| d.read_window_boundary(grid, sd))
+                .collect::<Vec<_>>(),
+        );
+        let fw = forcing.map(|f| {
+            Tensor::vstack(
+                &atoms.iter().map(|&sd| d.read_window_field(f, sd)).collect::<Vec<_>>(),
+            )
+        });
+        let preds = self.solver.solve_batch_shifted(sigma, &boundaries, fw.as_ref(), &pts);
+        let q = interior.len();
+        for (bi, &sd) in atoms.iter().enumerate() {
+            for (k, &(j, i)) in interior.iter().enumerate() {
+                grid.set(sd.oy + j, sd.ox + i, preds.get(bi * q + k, 0));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::OracleSolver;
+    use mf_data::SubdomainSpec;
+    use mf_numerics::boundary::{boundary_coords, grid_with_boundary};
+    use mf_numerics::{solve_dirichlet, Poisson};
+
+    fn spec() -> SubdomainSpec {
+        SubdomainSpec { m: 9, spatial: 0.5 }
+    }
+
+    /// Global boundary walk of a harmonic function on the domain.
+    fn harmonic_bc(d: &DomainSpec) -> (Tensor, Tensor) {
+        let h = d.h();
+        let f = |x: f64, y: f64| x * x - y * y + 0.3 * x * y;
+        let coords = boundary_coords(d.ny(), d.nx());
+        let bc = Tensor::from_vec(
+            1,
+            coords.len(),
+            coords
+                .iter()
+                .map(|&(j, i)| f(i as f64 * h, j as f64 * h))
+                .collect(),
+        );
+        let exact = Tensor::from_fn(d.ny(), d.nx(), |j, i| f(i as f64 * h, j as f64 * h));
+        (bc, exact)
+    }
+
+    /// Reference via a single global numerical solve.
+    fn reference(d: &DomainSpec, bc: &Tensor) -> Tensor {
+        let guess = grid_with_boundary(d.ny(), d.nx(), bc);
+        let (sol, stats) =
+            solve_dirichlet(&Poisson::laplace(d.ny(), d.nx(), d.h()), &guess, 1e-9);
+        assert!(stats.converged);
+        sol
+    }
+
+    #[test]
+    fn single_subdomain_domain_is_solved_in_one_iteration() {
+        let d = DomainSpec::new(spec(), 1, 1);
+        let oracle = OracleSolver::new(spec(), 1e-10);
+        let mfp = Mfp::new(&oracle, d);
+        let (bc, exact) = harmonic_bc(&d);
+        let res = mfp.run(&bc, &MfpConfig { max_iters: 3, tol: 1e-10, ..Default::default() });
+        assert!(res.grid.max_abs_diff(&exact) < 1e-5, "err {}", res.grid.max_abs_diff(&exact));
+    }
+
+    #[test]
+    fn mfp_with_oracle_converges_to_global_solution() {
+        let d = DomainSpec::new(spec(), 2, 2);
+        let oracle = OracleSolver::new(spec(), 1e-10);
+        let mfp = Mfp::new(&oracle, d);
+        let (bc, _) = harmonic_bc(&d);
+        let refsol = reference(&d, &bc);
+        let res = mfp.run(
+            &bc,
+            &MfpConfig { max_iters: 200, tol: 1e-8, batched: true, target: None, coarse_init: false },
+        );
+        assert!(res.converged, "did not converge in {} iters", res.iterations);
+        let mae = res.grid.mean_abs_diff(&refsol);
+        assert!(mae < 1e-4, "MAE vs global solve: {mae}");
+    }
+
+    #[test]
+    fn batched_and_unbatched_produce_identical_results() {
+        let d = DomainSpec::new(spec(), 2, 1);
+        let oracle = OracleSolver::new(spec(), 1e-10);
+        let mfp = Mfp::new(&oracle, d);
+        let (bc, _) = harmonic_bc(&d);
+        let cfg_b = MfpConfig { max_iters: 5, tol: 0.0, batched: true, target: None, coarse_init: false };
+        let cfg_u = MfpConfig { batched: false, ..cfg_b.clone() };
+        let rb = mfp.run(&bc, &cfg_b);
+        let ru = mfp.run(&bc, &cfg_u);
+        assert_eq!(rb.iterations, ru.iterations);
+        assert!(
+            rb.grid.max_abs_diff(&ru.grid) < 1e-12,
+            "batched vs unbatched diverge: {}",
+            rb.grid.max_abs_diff(&ru.grid)
+        );
+    }
+
+    #[test]
+    fn deltas_decay_monotonically_in_the_tail() {
+        let d = DomainSpec::new(spec(), 2, 2);
+        let oracle = OracleSolver::new(spec(), 1e-10);
+        let mfp = Mfp::new(&oracle, d);
+        let (bc, _) = harmonic_bc(&d);
+        let res = mfp.run(&bc, &MfpConfig { max_iters: 30, tol: 0.0, ..Default::default() });
+        assert_eq!(res.deltas.len(), 30);
+        // Schwarz for Laplace contracts: late deltas well below early ones.
+        let early = res.deltas[1];
+        let late = *res.deltas.last().unwrap();
+        assert!(late < early * 0.1, "deltas did not contract: {early} -> {late}");
+    }
+
+    #[test]
+    fn global_boundary_is_never_modified() {
+        let d = DomainSpec::new(spec(), 2, 1);
+        let oracle = OracleSolver::new(spec(), 1e-9);
+        let mfp = Mfp::new(&oracle, d);
+        let (bc, _) = harmonic_bc(&d);
+        let res = mfp.run(&bc, &MfpConfig { max_iters: 3, tol: 0.0, ..Default::default() });
+        let out_bc = mf_numerics::boundary::extract_boundary(&res.grid);
+        assert!(out_bc.allclose(&bc, 1e-12));
+    }
+
+    #[test]
+    fn shifted_mfp_matches_global_shifted_solve() {
+        // Manufactured problem: σu − Δu = f with u = sin(πx/W)sin(πy/H)
+        // on the domain, zero boundary.
+        use mf_numerics::solve_shifted_sor;
+        let d = DomainSpec::new(spec(), 2, 1);
+        let (w, hgt) = ((d.nx() - 1) as f64 * d.h(), (d.ny() - 1) as f64 * d.h());
+        let pi = std::f64::consts::PI;
+        let sigma = 40.0;
+        let exact = Tensor::from_fn(d.ny(), d.nx(), |j, i| {
+            (pi * i as f64 * d.h() / w).sin() * (pi * j as f64 * d.h() / hgt).sin()
+        });
+        let lam = (pi / w).powi(2) + (pi / hgt).powi(2);
+        let forcing = exact.scale(sigma + lam);
+        let bc = Tensor::zeros(1, d.boundary_len());
+
+        // Global reference with the same discretization.
+        let problem = mf_numerics::Poisson { f: forcing.clone(), h: d.h() };
+        let guess = Tensor::zeros(d.ny(), d.nx());
+        let (reference, st) = solve_shifted_sor(&problem, sigma, &guess, 1.5, 100_000, 1e-10);
+        assert!(st.converged);
+
+        let oracle = OracleSolver::new(spec(), 1e-10);
+        let mfp = Mfp::new(&oracle, d);
+        let res = mfp.run_shifted(
+            &bc,
+            sigma,
+            Some(&forcing),
+            &MfpConfig { max_iters: 300, tol: 1e-9, ..Default::default() },
+        );
+        assert!(res.converged, "shifted MFP did not converge");
+        let mae = res.grid.mean_abs_diff(&reference);
+        assert!(mae < 1e-5, "MAE vs global shifted solve: {mae}");
+        // And against the continuum solution, up to discretization error.
+        assert!(res.grid.mean_abs_diff(&exact) < 5e-3);
+    }
+
+    #[test]
+    fn shifted_mfp_converges_faster_than_laplace_mfp() {
+        // Diagonal dominance (σ > 0) localizes the problem: information
+        // needs fewer Schwarz iterations — the basis of §5.3's hypothesis
+        // that time-dependent problems suit one-level Schwarz.
+        let d = DomainSpec::new(spec(), 4, 2);
+        let oracle = OracleSolver::new(spec(), 1e-10);
+        let mfp = Mfp::new(&oracle, d);
+        let (bc, _) = harmonic_bc(&d);
+        let cfg = MfpConfig { max_iters: 2000, tol: 1e-7, ..Default::default() };
+        let laplace = mfp.run(&bc, &cfg);
+        let zero_forcing = Tensor::zeros(d.ny(), d.nx());
+        let shifted = mfp.run_shifted(&bc, 200.0, Some(&zero_forcing), &cfg);
+        assert!(laplace.converged && shifted.converged);
+        assert!(
+            shifted.iterations < laplace.iterations,
+            "shifted ({}) should beat Laplace ({})",
+            shifted.iterations,
+            laplace.iterations
+        );
+    }
+
+    #[test]
+    fn coarse_init_cuts_iterations_without_changing_the_answer() {
+        // The coarse-grid initialization (cited future work of §5.3)
+        // propagates boundary information globally in one cheap solve, so
+        // the Schwarz iteration starts much closer to the fixed point.
+        let d = DomainSpec::new(spec(), 4, 4);
+        let oracle = OracleSolver::new(spec(), 1e-10);
+        let mfp = Mfp::new(&oracle, d);
+        let (bc, _) = harmonic_bc(&d);
+        let plain = mfp.run(
+            &bc,
+            &MfpConfig { max_iters: 2000, tol: 1e-7, ..Default::default() },
+        );
+        let coarse = mfp.run(
+            &bc,
+            &MfpConfig { max_iters: 2000, tol: 1e-7, coarse_init: true, ..Default::default() },
+        );
+        assert!(plain.converged && coarse.converged);
+        assert!(
+            (coarse.iterations as f64) <= 0.8 * plain.iterations as f64,
+            "coarse init should cut iterations noticeably: {} vs {}",
+            coarse.iterations,
+            plain.iterations
+        );
+        assert!(
+            plain.grid.mean_abs_diff(&coarse.grid) < 1e-5,
+            "coarse init changed the converged solution"
+        );
+    }
+
+    #[test]
+    fn coarse_initialize_is_exact_for_linear_solutions() {
+        // A linear harmonic function is reproduced exactly by the coarse
+        // solve + linear interpolation, so the lattice starts at the
+        // exact solution.
+        let d = DomainSpec::new(spec(), 2, 2);
+        let h = d.h();
+        let f = |x: f64, y: f64| 1.0 + 2.0 * x - 3.0 * y;
+        let coords = mf_numerics::boundary::boundary_coords(d.ny(), d.nx());
+        let bc = Tensor::from_vec(
+            1,
+            coords.len(),
+            coords.iter().map(|&(j, i)| f(i as f64 * h, j as f64 * h)).collect(),
+        );
+        let mut grid = Tensor::zeros(d.ny(), d.nx());
+        apply_boundary(&mut grid, &bc);
+        d.coarse_initialize(&mut grid);
+        for j in 0..d.ny() {
+            for i in 0..d.nx() {
+                if d.on_lattice(j, i) {
+                    let e = f(i as f64 * h, j as f64 * h);
+                    assert!(
+                        (grid.get(j, i) - e).abs() < 1e-7,
+                        "lattice point ({j},{i}): {} vs {e}",
+                        grid.get(j, i)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mae_target_stops_early_and_records_history() {
+        let d = DomainSpec::new(spec(), 2, 2);
+        let oracle = OracleSolver::new(spec(), 1e-9);
+        let mfp = Mfp::new(&oracle, d);
+        let (bc, _) = harmonic_bc(&d);
+        let refsol = reference(&d, &bc);
+        let res = mfp.run(
+            &bc,
+            &MfpConfig {
+                max_iters: 500,
+                tol: 0.0,
+                batched: true,
+                target: Some(MaeTarget { reference: refsol, mae: 0.05, every: 1 }),
+                coarse_init: false,
+            },
+        );
+        assert!(res.converged);
+        assert!(res.iterations < 500);
+        assert!(!res.mae_history.is_empty());
+        // History MAE is decreasing overall.
+        let first = res.mae_history[0].1;
+        let last = res.mae_history.last().unwrap().1;
+        assert!(last <= first);
+        assert!(last <= 0.05);
+    }
+}

@@ -1,0 +1,208 @@
+//! Circular 1-D convolution for boundary embedding.
+//!
+//! The discretized boundary condition is a closed curve around the
+//! subdomain, so the convolution pads circularly. It is implemented as
+//! `unfold → GEMM → reshape` (im2col), which keeps the whole layer inside
+//! the autodiff primitive set — derivatives of any order come for free
+//! through the GEMM and fold/unfold rules.
+//!
+//! Layout convention: a batch of `B` signals of `L` positions × `C`
+//! channels is a `[B, L·C]` tensor, position-major (`index = pos·C + ch`).
+
+use crate::linear::{uniform_init, xavier_bound};
+use crate::params::{Bound, ParamId, Params};
+use mf_autodiff::{Graph, Var};
+use mf_tensor::Layout;
+use mf_tensor::Tensor;
+use rand::Rng;
+
+/// Circular 1-D convolution layer: `in_ch → out_ch` channels, odd kernel.
+#[derive(Clone, Debug)]
+pub struct CircularConv1d {
+    w: ParamId,
+    b: Option<ParamId>,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+}
+
+impl CircularConv1d {
+    /// New layer with Xavier-uniform filters.
+    pub fn new(
+        ps: &mut Params,
+        rng: &mut impl Rng,
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        bias: bool,
+    ) -> Self {
+        assert!(kernel % 2 == 1, "CircularConv1d: kernel must be odd, got {kernel}");
+        let fan_in = in_ch * kernel;
+        let bound = xavier_bound(fan_in, out_ch);
+        // Filter matrix [out_ch × k·in_ch], matching the unfold layout.
+        let w = ps.add(format!("{name}.w"), uniform_init(rng, out_ch, fan_in, bound));
+        let b = bias.then(|| ps.add(format!("{name}.b"), Tensor::zeros(1, out_ch)));
+        Self { w, b, in_ch, out_ch, kernel }
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_ch
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_ch
+    }
+
+    /// Kernel width.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Filter parameter id.
+    pub fn weight(&self) -> ParamId {
+        self.w
+    }
+
+    /// Forward pass: `x` is `[B, L·in_ch]`, result `[B, L·out_ch]`.
+    pub fn forward(&self, g: &mut Graph, bound: &Bound, x: Var) -> Var {
+        let (batch, width) = g.value(x).shape();
+        assert_eq!(
+            width % self.in_ch,
+            0,
+            "CircularConv1d: width {width} not divisible by {} channels",
+            self.in_ch
+        );
+        let len = width / self.in_ch;
+        let u = g.unfold1d(x, self.in_ch, self.kernel); // [B·L, k·in_ch]
+        let w = bound.var(self.w);
+        let mut y = g.matmul_layout(u, Layout::Normal, w, Layout::Transposed); // [B·L, out_ch]
+        if let Some(b) = self.b {
+            let rows = g.value(y).rows();
+            let bb = g.broadcast_rows(bound.var(b), rows);
+            y = g.add(y, bb);
+        }
+        // [B·L, out_ch] → [B, L·out_ch]: contiguous row-major data already
+        // has the position-major interleaving, so this is a pure reshape.
+        g.reshape(y, batch, len * self.out_ch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn identity_kernel(ps: &mut Params, conv: &CircularConv1d) {
+        // Kernel [1×k] with 1 at the center: output == input.
+        let k = conv.kernel();
+        let mut w = Tensor::zeros(1, k);
+        w.set(0, (k - 1) / 2, 1.0);
+        *ps.get_mut(conv.weight()) = w;
+    }
+
+    #[test]
+    fn center_tap_identity() {
+        let mut ps = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let conv = CircularConv1d::new(&mut ps, &mut rng, "c", 1, 1, 3, false);
+        identity_kernel(&mut ps, &conv);
+        let mut g = Graph::new();
+        let b = ps.bind(&mut g);
+        let x = g.leaf(Tensor::row_vector(&[1.0, 2.0, 3.0, 4.0, 5.0]));
+        let y = conv.forward(&mut g, &b, x);
+        assert!(g.value(y).allclose(g.value(x), 1e-12));
+    }
+
+    #[test]
+    fn moving_average_wraps_circularly() {
+        let mut ps = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let conv = CircularConv1d::new(&mut ps, &mut rng, "c", 1, 1, 3, false);
+        *ps.get_mut(conv.weight()) = Tensor::row_vector(&[1.0, 1.0, 1.0]);
+        let mut g = Graph::new();
+        let b = ps.bind(&mut g);
+        let x = g.leaf(Tensor::row_vector(&[1.0, 0.0, 0.0, 10.0]));
+        let y = conv.forward(&mut g, &b, x);
+        // Position 0 sees (wrap) 10 + 1 + 0 = 11; position 3 sees 0 + 10 + 1.
+        assert_eq!(g.value(y).as_slice(), &[11.0, 1.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn shift_equivariance() {
+        // Circular convolution commutes with circular shifts.
+        let mut ps = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let conv = CircularConv1d::new(&mut ps, &mut rng, "c", 1, 2, 5, true);
+        let signal: Vec<f64> = (0..12).map(|i| ((i as f64) * 0.7).sin()).collect();
+        let shift = 3usize;
+        let shifted: Vec<f64> =
+            (0..12).map(|i| signal[(i + 12 - shift) % 12]).collect();
+
+        let run = |sig: &[f64]| {
+            let mut g = Graph::new();
+            let b = ps.bind(&mut g);
+            let x = g.leaf(Tensor::row_vector(sig));
+            let y = conv.forward(&mut g, &b, x);
+            g.value(y).clone()
+        };
+        let y0 = run(&signal);
+        let y1 = run(&shifted);
+        // Output at position p (2 channels) of shifted input equals output
+        // at position p - shift of the original.
+        for p in 0..12 {
+            let q = (p + 12 - shift) % 12;
+            for ch in 0..2 {
+                let a = y1.get(0, p * 2 + ch);
+                let e = y0.get(0, q * 2 + ch);
+                assert!((a - e).abs() < 1e-12, "pos {p} ch {ch}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_channel_shapes() {
+        let mut ps = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let c1 = CircularConv1d::new(&mut ps, &mut rng, "c1", 1, 4, 3, true);
+        let c2 = CircularConv1d::new(&mut ps, &mut rng, "c2", 4, 2, 3, true);
+        let mut g = Graph::new();
+        let b = ps.bind(&mut g);
+        let x = g.leaf(Tensor::ones(3, 8)); // 3 signals × 8 positions
+        let h = c1.forward(&mut g, &b, x);
+        assert_eq!(g.value(h).shape(), (3, 32));
+        let y = c2.forward(&mut g, &b, h);
+        assert_eq!(g.value(y).shape(), (3, 16));
+    }
+
+    #[test]
+    fn gradients_flow_through_conv() {
+        let mut ps = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let conv = CircularConv1d::new(&mut ps, &mut rng, "c", 1, 2, 3, true);
+        let mut g = Graph::new();
+        let b = ps.bind(&mut g);
+        let x = g.leaf(Tensor::row_vector(&[1.0, -1.0, 2.0, 0.5]));
+        let y = conv.forward(&mut g, &b, x);
+        let loss = g.mean(y);
+        let grads = g.grad(loss, b.all_vars());
+        // Weight gradient must be non-zero and finite.
+        let dw = g.value(grads[0]);
+        assert!(dw.norm_l2() > 0.0);
+        assert!(dw.as_slice().iter().all(|v| v.is_finite()));
+        // Input gradient too.
+        let dx = g.grad(loss, &[x])[0];
+        assert!(g.value(dx).norm_l2() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel must be odd")]
+    fn rejects_even_kernel() {
+        let mut ps = Params::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let _ = CircularConv1d::new(&mut ps, &mut rng, "c", 1, 1, 4, false);
+    }
+}

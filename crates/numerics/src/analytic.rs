@@ -1,0 +1,77 @@
+//! Closed-form harmonic functions for solver validation.
+//!
+//! Exact solutions of the Laplace equation let the tests measure true
+//! discretization + solver error instead of comparing solvers only against
+//! each other.
+
+use mf_tensor::Tensor;
+
+/// A scalar field `u(x, y)`.
+pub type HarmonicFn = Box<dyn Fn(f64, f64) -> f64>;
+
+/// `u = x² − y² + c·xy`: a harmonic polynomial the 5-point stencil
+/// reproduces exactly (zero discretization error).
+pub fn harmonic_polynomial(c: f64) -> HarmonicFn {
+    Box::new(move |x, y| x * x - y * y + c * x * y)
+}
+
+/// `u = sin(kπx) · sinh(kπy) / sinh(kπ)`: harmonic on the unit square, zero
+/// on three edges and `sin(kπx)` on the top edge.
+pub fn harmonic_sin_sinh(k: usize) -> HarmonicFn {
+    let kpi = k as f64 * std::f64::consts::PI;
+    Box::new(move |x, y| (kpi * x).sin() * (kpi * y).sinh() / kpi.sinh())
+}
+
+/// Evaluate `f` on an `ny×nx` grid with spacing `h` and origin
+/// `(x0, y0)` (row `j`, col `i` maps to `(x0 + i·h, y0 + j·h)`).
+pub fn eval_on_grid(f: &HarmonicFn, ny: usize, nx: usize, h: f64, x0: f64, y0: f64) -> Tensor {
+    Tensor::from_fn(ny, nx, |j, i| f(x0 + i as f64 * h, y0 + j as f64 * h))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve_dirichlet, Poisson};
+
+    #[test]
+    fn sin_sinh_satisfies_continuum_laplace() {
+        let f = harmonic_sin_sinh(2);
+        // Numerical Laplacian of the continuum function at a point.
+        let h = 1e-4;
+        let (x, y) = (0.3, 0.7);
+        let lap = (f(x + h, y) + f(x - h, y) + f(x, y + h) + f(x, y - h) - 4.0 * f(x, y)) / (h * h);
+        assert!(lap.abs() < 1e-4, "continuum Laplacian = {lap}");
+    }
+
+    #[test]
+    fn solver_error_shrinks_quadratically_for_sin_sinh() {
+        // Second-order stencil: halving h should cut the error ~4x.
+        let f = harmonic_sin_sinh(1);
+        let mut errors = Vec::new();
+        for &n in &[17usize, 33, 65] {
+            let h = 1.0 / (n - 1) as f64;
+            let exact = eval_on_grid(&f, n, n, h, 0.0, 0.0);
+            let mut guess = exact.clone();
+            for j in 1..n - 1 {
+                for i in 1..n - 1 {
+                    guess.set(j, i, 0.0);
+                }
+            }
+            let (u, stats) = solve_dirichlet(&Poisson::laplace(n, n, h), &guess, 1e-11);
+            assert!(stats.converged);
+            errors.push(u.max_abs_diff(&exact));
+        }
+        assert!(errors[0] / errors[1] > 3.0, "errors: {errors:?}");
+        assert!(errors[1] / errors[2] > 3.0, "errors: {errors:?}");
+    }
+
+    #[test]
+    fn eval_on_grid_respects_origin() {
+        let f = harmonic_polynomial(0.0);
+        let t = eval_on_grid(&f, 3, 3, 0.5, 1.0, 2.0);
+        // (x0, y0) = (1, 2): u(1,2) = 1 - 4 = -3 at (0,0).
+        assert_eq!(t.get(0, 0), -3.0);
+        // At (j=2, i=2): (x,y) = (2,3): 4 - 9 = -5.
+        assert_eq!(t.get(2, 2), -5.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Conjugate-gradient solver on the interior unknowns of the 5-point system.
+//!
+//! The 5-point Laplacian with Dirichlet boundary conditions is symmetric
+//! positive definite on the interior, so CG applies directly. The boundary
+//! values are folded into the right-hand side.
+
+use crate::{Poisson, SolveStats};
+use mf_tensor::Tensor;
+
+/// Solve `Δu = f` with Dirichlet values from the ring of `u0` using CG.
+pub fn solve_cg(problem: &Poisson, u0: &Tensor, max_iters: usize, tol: f64) -> (Tensor, SolveStats) {
+    let (ny, nx) = problem.shape();
+    assert!(ny >= 3 && nx >= 3, "solve_cg: grid too small");
+    let (my, mx) = (ny - 2, nx - 2);
+    let n = my * mx;
+    let h2 = problem.h * problem.h;
+
+    // Interior operator: A x = (4x_C - x_E - x_W - x_N - x_S), i.e. -h²Δ,
+    // which is SPD. RHS b = -h² f + boundary contributions.
+    let apply = |x: &[f64], out: &mut [f64]| {
+        for j in 0..my {
+            for i in 0..mx {
+                let idx = j * mx + i;
+                let mut v = 4.0 * x[idx];
+                if i > 0 {
+                    v -= x[idx - 1];
+                }
+                if i + 1 < mx {
+                    v -= x[idx + 1];
+                }
+                if j > 0 {
+                    v -= x[idx - mx];
+                }
+                if j + 1 < my {
+                    v -= x[idx + mx];
+                }
+                out[idx] = v;
+            }
+        }
+    };
+
+    let mut b = vec![0.0; n];
+    for j in 0..my {
+        for i in 0..mx {
+            let (gj, gi) = (j + 1, i + 1);
+            let mut v = -h2 * problem.f.get(gj, gi);
+            if i == 0 {
+                v += u0.get(gj, 0);
+            }
+            if i + 1 == mx {
+                v += u0.get(gj, nx - 1);
+            }
+            if j == 0 {
+                v += u0.get(0, gi);
+            }
+            if j + 1 == my {
+                v += u0.get(ny - 1, gi);
+            }
+            b[j * mx + i] = v;
+        }
+    }
+
+    // Initial guess from the interior of u0.
+    let mut x = vec![0.0; n];
+    for j in 0..my {
+        for i in 0..mx {
+            x[j * mx + i] = u0.get(j + 1, i + 1);
+        }
+    }
+
+    let mut ax = vec![0.0; n];
+    apply(&x, &mut ax);
+    let mut r: Vec<f64> = b.iter().zip(&ax).map(|(b, a)| b - a).collect();
+    let mut p = r.clone();
+    let mut rsold: f64 = r.iter().map(|v| v * v).sum();
+    let mut ap = vec![0.0; n];
+
+    // Tolerance on the original (unscaled) residual max-norm.
+    let target = tol * h2;
+    let mut iterations = 0;
+    while iterations < max_iters {
+        let rmax = r.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+        if rmax <= target {
+            break;
+        }
+        apply(&p, &mut ap);
+        let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+        if pap.abs() < f64::MIN_POSITIVE {
+            break;
+        }
+        let alpha = rsold / pap;
+        for k in 0..n {
+            x[k] += alpha * p[k];
+            r[k] -= alpha * ap[k];
+        }
+        let rsnew: f64 = r.iter().map(|v| v * v).sum();
+        let beta = rsnew / rsold;
+        for k in 0..n {
+            p[k] = r[k] + beta * p[k];
+        }
+        rsold = rsnew;
+        iterations += 1;
+    }
+
+    let mut u = u0.clone();
+    for j in 0..my {
+        for i in 0..mx {
+            u.set(j + 1, i + 1, x[j * mx + i]);
+        }
+    }
+    let residual = crate::residual_norm(problem, &u);
+    (u, SolveStats { iterations, residual, converged: residual <= tol })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve_sor, sor_optimal_omega};
+
+    fn harmonic_problem(n: usize) -> (Poisson, Tensor, Tensor) {
+        let h = 1.0 / (n - 1) as f64;
+        let exact = Tensor::from_fn(n, n, |j, i| {
+            let (x, y) = (i as f64 * h, j as f64 * h);
+            x * x - y * y + 0.5 * x * y
+        });
+        let mut guess = exact.clone();
+        for j in 1..n - 1 {
+            for i in 1..n - 1 {
+                guess.set(j, i, 0.0);
+            }
+        }
+        (Poisson::laplace(n, n, h), guess, exact)
+    }
+
+    #[test]
+    fn cg_matches_exact_harmonic_solution() {
+        // x² - y² + xy/2 is harmonic; xy is also 5-point exact.
+        let (p, g, exact) = harmonic_problem(17);
+        let (u, stats) = solve_cg(&p, &g, 2000, 1e-9);
+        assert!(stats.converged, "{stats:?}");
+        assert!(u.max_abs_diff(&exact) < 1e-6);
+    }
+
+    #[test]
+    fn cg_and_sor_agree() {
+        let n = 21;
+        let h = 1.0 / (n - 1) as f64;
+        // Random-ish boundary via trigonometric function.
+        let mut guess = Tensor::zeros(n, n);
+        for i in 0..n {
+            let t = i as f64 * h;
+            guess.set(0, i, (3.0 * t).sin());
+            guess.set(n - 1, i, (2.0 * t).cos());
+            guess.set(i, 0, t * t);
+            guess.set(i, n - 1, 1.0 - t);
+        }
+        let p = Poisson::laplace(n, n, h);
+        let (ucg, scg) = solve_cg(&p, &guess, 5000, 1e-10);
+        let (usor, ssor) = solve_sor(&p, &guess, sor_optimal_omega(n), 50_000, 1e-10);
+        assert!(scg.converged && ssor.converged);
+        assert!(ucg.max_abs_diff(&usor) < 1e-6);
+    }
+
+    #[test]
+    fn cg_converges_in_few_iterations_on_small_grid() {
+        let (p, g, _) = harmonic_problem(9);
+        let (_, stats) = solve_cg(&p, &g, 500, 1e-10);
+        // CG on an n-unknown SPD system converges in at most n steps.
+        assert!(stats.iterations <= 49, "iterations = {}", stats.iterations);
+    }
+}

@@ -1,0 +1,455 @@
+//! First-order optimizers.
+
+use mf_tensor::Tensor;
+
+/// A stateful first-order optimizer.
+///
+/// `step` consumes one gradient per parameter tensor (same order and
+/// shapes) and updates the parameters in place with the given learning
+/// rate. The schedule is kept outside the optimizer so the distributed
+/// trainer can apply the paper's batch-size scaling rules.
+pub trait Optimizer {
+    /// Apply one update.
+    fn step<'a>(
+        &mut self,
+        params: impl Iterator<Item = &'a mut Tensor>,
+        grads: &[Tensor],
+        lr: f64,
+    );
+
+    /// Number of updates applied so far.
+    fn steps(&self) -> usize;
+}
+
+/// Scale all gradients in place so their joint L2 norm is at most
+/// `max_norm`; returns the pre-clip norm. Gradient clipping is the
+/// standard guard against the loss spikes of physics-informed training
+/// (the PDE term can produce very large residual gradients early on).
+pub fn clip_grad_norm(grads: &mut [Tensor], max_norm: f64) -> f64 {
+    assert!(max_norm > 0.0, "clip_grad_norm: max_norm must be positive");
+    let total: f64 = grads.iter().map(|g| g.norm_l2().powi(2)).sum::<f64>().sqrt();
+    if total > max_norm {
+        let scale = max_norm / total;
+        for g in grads.iter_mut() {
+            g.map_in_place(|v| v * scale);
+        }
+    }
+    total
+}
+
+fn check_shapes(param: &Tensor, grad: &Tensor, idx: usize) {
+    assert_eq!(
+        param.shape(),
+        grad.shape(),
+        "optimizer: parameter {idx} shape {:?} does not match gradient {:?}",
+        param.shape(),
+        grad.shape()
+    );
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    momentum: f64,
+    velocity: Vec<Tensor>,
+    t: usize,
+}
+
+impl Sgd {
+    /// Plain SGD (`momentum = 0`) or heavy-ball SGD.
+    pub fn new(momentum: f64) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Self { momentum, velocity: Vec::new(), t: 0 }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step<'a>(
+        &mut self,
+        params: impl Iterator<Item = &'a mut Tensor>,
+        grads: &[Tensor],
+        lr: f64,
+    ) {
+        self.t += 1;
+        for (i, (p, g)) in params.zip(grads).enumerate() {
+            check_shapes(p, g, i);
+            if self.momentum == 0.0 {
+                p.axpy(-lr, g);
+            } else {
+                if self.velocity.len() <= i {
+                    self.velocity.push(Tensor::zeros(g.rows(), g.cols()));
+                }
+                let v = &mut self.velocity[i];
+                for (vv, gg) in v.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                    *vv = self.momentum * *vv + gg;
+                }
+                p.axpy(-lr, v);
+            }
+        }
+    }
+
+    fn steps(&self) -> usize {
+        self.t
+    }
+}
+
+/// Per-parameter Adam state.
+#[derive(Clone, Debug)]
+struct Moments {
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Moments {
+    fn new() -> Self {
+        Self { m: Vec::new(), v: Vec::new() }
+    }
+
+    fn ensure(&mut self, i: usize, shape: (usize, usize)) {
+        while self.m.len() <= i {
+            self.m.push(Tensor::zeros(shape.0, shape.1));
+            self.v.push(Tensor::zeros(shape.0, shape.1));
+        }
+    }
+
+    /// Update the moments for parameter `i` and return the bias-corrected
+    /// Adam direction `m̂ / (√v̂ + ε)` as a tensor.
+    fn direction(
+        &mut self,
+        i: usize,
+        g: &Tensor,
+        t: usize,
+        beta1: f64,
+        beta2: f64,
+        eps: f64,
+    ) -> Tensor {
+        self.ensure(i, g.shape());
+        let m = &mut self.m[i];
+        let v = &mut self.v[i];
+        for ((mm, vv), gg) in
+            m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()).zip(g.as_slice())
+        {
+            *mm = beta1 * *mm + (1.0 - beta1) * gg;
+            *vv = beta2 * *vv + (1.0 - beta2) * gg * gg;
+        }
+        let bc1 = 1.0 - beta1.powi(t as i32);
+        let bc2 = 1.0 - beta2.powi(t as i32);
+        let mut dir = Tensor::zeros(g.rows(), g.cols());
+        for ((d, mm), vv) in
+            dir.as_mut_slice().iter_mut().zip(m.as_slice()).zip(v.as_slice())
+        {
+            let mhat = mm / bc1;
+            let vhat = vv / bc2;
+            *d = mhat / (vhat.sqrt() + eps);
+        }
+        dir
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    moments: Moments,
+    t: usize,
+}
+
+impl Adam {
+    /// Standard hyperparameters: β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
+    pub fn new() -> Self {
+        Self::with_betas(0.9, 0.999, 1e-8)
+    }
+
+    /// Custom betas and epsilon.
+    pub fn with_betas(beta1: f64, beta2: f64, eps: f64) -> Self {
+        Self { beta1, beta2, eps, moments: Moments::new(), t: 0 }
+    }
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Optimizer for Adam {
+    fn step<'a>(
+        &mut self,
+        params: impl Iterator<Item = &'a mut Tensor>,
+        grads: &[Tensor],
+        lr: f64,
+    ) {
+        self.t += 1;
+        for (i, (p, g)) in params.zip(grads).enumerate() {
+            check_shapes(p, g, i);
+            let dir = self.moments.direction(i, g, self.t, self.beta1, self.beta2, self.eps);
+            p.axpy(-lr, &dir);
+        }
+    }
+
+    fn steps(&self) -> usize {
+        self.t
+    }
+}
+
+/// AdamW (Loshchilov & Hutter): Adam with *decoupled* weight decay.
+#[derive(Clone, Debug)]
+pub struct AdamW {
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    /// Decoupled weight-decay coefficient λ.
+    pub weight_decay: f64,
+    moments: Moments,
+    t: usize,
+}
+
+impl AdamW {
+    /// Standard betas with the given decay coefficient.
+    pub fn new(weight_decay: f64) -> Self {
+        Self { beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay, moments: Moments::new(), t: 0 }
+    }
+}
+
+impl Optimizer for AdamW {
+    fn step<'a>(
+        &mut self,
+        params: impl Iterator<Item = &'a mut Tensor>,
+        grads: &[Tensor],
+        lr: f64,
+    ) {
+        self.t += 1;
+        for (i, (p, g)) in params.zip(grads).enumerate() {
+            check_shapes(p, g, i);
+            let dir = self.moments.direction(i, g, self.t, self.beta1, self.beta2, self.eps);
+            // Decoupled decay: w ← w − lr·λ·w, independent of the gradient.
+            if self.weight_decay != 0.0 {
+                let wd = self.weight_decay;
+                p.map_in_place(|w| w * (1.0 - lr * wd));
+            }
+            p.axpy(-lr, &dir);
+        }
+    }
+
+    fn steps(&self) -> usize {
+        self.t
+    }
+}
+
+/// LAMB (You et al.): AdamW direction rescaled per layer by the trust
+/// ratio `‖w‖ / ‖r‖`, enabling the very large batch sizes of multi-GPU
+/// data-parallel training (§5.2 of the paper uses NVIDIA's FusedLAMB).
+#[derive(Clone, Debug)]
+pub struct Lamb {
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    /// Weight-decay coefficient λ added to the update direction.
+    pub weight_decay: f64,
+    /// Upper clamp on the trust ratio (10 in the reference implementation).
+    pub max_trust: f64,
+    moments: Moments,
+    t: usize,
+}
+
+impl Lamb {
+    /// Standard betas with the given decay coefficient.
+    pub fn new(weight_decay: f64) -> Self {
+        Self {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-6,
+            weight_decay,
+            max_trust: 10.0,
+            moments: Moments::new(),
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for Lamb {
+    fn step<'a>(
+        &mut self,
+        params: impl Iterator<Item = &'a mut Tensor>,
+        grads: &[Tensor],
+        lr: f64,
+    ) {
+        self.t += 1;
+        for (i, (p, g)) in params.zip(grads).enumerate() {
+            check_shapes(p, g, i);
+            let mut r = self.moments.direction(i, g, self.t, self.beta1, self.beta2, self.eps);
+            if self.weight_decay != 0.0 {
+                r.axpy(self.weight_decay, p);
+            }
+            let w_norm = p.norm_l2();
+            let r_norm = r.norm_l2();
+            let trust = if w_norm > 0.0 && r_norm > 0.0 {
+                (w_norm / r_norm).min(self.max_trust)
+            } else {
+                1.0
+            };
+            p.axpy(-lr * trust, &r);
+        }
+    }
+
+    fn steps(&self) -> usize {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(w) = ½‖w − target‖² with the given optimizer.
+    fn converges_on_quadratic(opt: &mut dyn FnMut(&mut Vec<Tensor>, &[Tensor])) -> f64 {
+        let target = Tensor::from_vec(1, 3, vec![1.0, -2.0, 0.5]);
+        let mut params = vec![Tensor::zeros(1, 3)];
+        for _ in 0..400 {
+            let grad = params[0].sub(&target);
+            opt(&mut params, &[grad]);
+        }
+        params[0].max_abs_diff(&target)
+    }
+
+    #[test]
+    fn sgd_converges() {
+        let mut o = Sgd::new(0.0);
+        let err = converges_on_quadratic(&mut |p, g| o.step(p.iter_mut(), g, 0.1));
+        assert!(err < 1e-6, "err {err}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut o = Sgd::new(0.9);
+        let err = converges_on_quadratic(&mut |p, g| o.step(p.iter_mut(), g, 0.02));
+        assert!(err < 1e-6, "err {err}");
+    }
+
+    #[test]
+    fn adam_converges() {
+        let mut o = Adam::new();
+        let err = converges_on_quadratic(&mut |p, g| o.step(p.iter_mut(), g, 0.05));
+        assert!(err < 1e-4, "err {err}");
+    }
+
+    #[test]
+    fn adamw_converges() {
+        let mut o = AdamW::new(0.0);
+        let err = converges_on_quadratic(&mut |p, g| o.step(p.iter_mut(), g, 0.05));
+        assert!(err < 1e-4, "err {err}");
+    }
+
+    #[test]
+    fn lamb_converges() {
+        let mut o = Lamb::new(0.0);
+        let err = converges_on_quadratic(&mut |p, g| o.step(p.iter_mut(), g, 0.05));
+        assert!(err < 1e-3, "err {err}");
+    }
+
+    #[test]
+    fn adam_first_step_has_unit_scale() {
+        // With bias correction, the first Adam step is ≈ lr regardless of
+        // gradient magnitude.
+        for &scale in &[1e-4, 1.0, 1e4] {
+            let mut o = Adam::new();
+            let mut p = vec![Tensor::zeros(1, 1)];
+            let g = vec![Tensor::scalar(scale)];
+            o.step(p.iter_mut(), &g, 0.01);
+            assert!(
+                (p[0].item().abs() - 0.01).abs() < 1e-5,
+                "scale {scale}: step {}",
+                p[0].item()
+            );
+        }
+    }
+
+    #[test]
+    fn adamw_decay_is_decoupled() {
+        // Zero gradient: AdamW still shrinks weights, Adam does not.
+        let mut aw = AdamW::new(0.1);
+        let mut p = vec![Tensor::scalar(1.0)];
+        let g = vec![Tensor::scalar(0.0)];
+        aw.step(p.iter_mut(), &g, 0.5);
+        assert!((p[0].item() - 0.95).abs() < 1e-12);
+
+        let mut a = Adam::new();
+        let mut p2 = vec![Tensor::scalar(1.0)];
+        a.step(p2.iter_mut(), &g, 0.5);
+        assert_eq!(p2[0].item(), 1.0);
+    }
+
+    #[test]
+    fn lamb_update_is_invariant_to_gradient_scale() {
+        // The trust ratio normalizes the direction by its own norm, so
+        // scaling all gradients leaves the step (nearly) unchanged.
+        let run = |gscale: f64| {
+            let mut o = Lamb::new(0.0);
+            let mut p = vec![Tensor::from_vec(1, 2, vec![3.0, 4.0])];
+            let g = vec![Tensor::from_vec(1, 2, vec![1.0 * gscale, 2.0 * gscale])];
+            o.step(p.iter_mut(), &g, 0.1);
+            p[0].clone()
+        };
+        let a = run(1.0);
+        let b = run(1000.0);
+        assert!(a.allclose(&b, 1e-6), "LAMB not scale invariant: {a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn lamb_trust_ratio_is_clamped() {
+        // Tiny direction norm would give a huge trust ratio; the clamp
+        // bounds the step size.
+        let mut o = Lamb::new(0.0);
+        let mut p = vec![Tensor::from_vec(1, 2, vec![1e6, 1e6])];
+        let g = vec![Tensor::from_vec(1, 2, vec![1e-12, 1e-12])];
+        let before = p[0].clone();
+        o.step(p.iter_mut(), &g, 0.1);
+        let moved = p[0].max_abs_diff(&before);
+        // Step ≤ lr · max_trust · ‖direction‖∞ and direction ≤ ~1.
+        assert!(moved <= 0.1 * 10.0 * 1.5, "moved {moved}");
+    }
+
+    #[test]
+    fn clip_grad_norm_rescales_only_when_needed() {
+        let mut grads = vec![Tensor::from_vec(1, 2, vec![3.0, 4.0])]; // norm 5
+        let pre = clip_grad_norm(&mut grads, 2.5);
+        assert!((pre - 5.0).abs() < 1e-12);
+        assert!((grads[0].norm_l2() - 2.5).abs() < 1e-12);
+        // Direction preserved.
+        assert!((grads[0].get(0, 0) / grads[0].get(0, 1) - 0.75).abs() < 1e-12);
+        // Below the limit: untouched.
+        let mut small = vec![Tensor::from_vec(1, 2, vec![0.3, 0.4])];
+        let pre = clip_grad_norm(&mut small, 2.5);
+        assert!((pre - 0.5).abs() < 1e-12);
+        assert_eq!(small[0].as_slice(), &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn clip_grad_norm_spans_multiple_tensors() {
+        let mut grads = vec![Tensor::full(1, 1, 3.0), Tensor::full(1, 1, 4.0)];
+        clip_grad_norm(&mut grads, 1.0);
+        let joint =
+            (grads[0].item().powi(2) + grads[1].item().powi(2)).sqrt();
+        assert!((joint - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steps_counter_advances() {
+        let mut o = Adam::new();
+        let mut p = vec![Tensor::scalar(0.0)];
+        for i in 1..=5 {
+            o.step(p.iter_mut(), &[Tensor::scalar(1.0)], 0.01);
+            assert_eq!(o.steps(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn mismatched_gradient_shape_panics() {
+        let mut o = Sgd::new(0.0);
+        let mut p = vec![Tensor::zeros(2, 2)];
+        o.step(p.iter_mut(), &[Tensor::zeros(1, 4)], 0.1);
+    }
+}

@@ -1,0 +1,217 @@
+//! Blocked general matrix multiply with optional transposes.
+//!
+//! This GEMM is the single compute kernel behind every SDNet forward and
+//! backward pass, so it gets the classic HPC treatment: an `ikj` loop order
+//! over a packed row-major layout (unit-stride inner loop the compiler can
+//! vectorize), cache blocking, and rayon parallelism over row bands of the
+//! output for large problems.
+//!
+//! Transposed operands are handled by packing the transposed matrix once
+//! (O(n²)) rather than striding through it in the O(n³) inner loop.
+
+use crate::Tensor;
+use rayon::prelude::*;
+
+/// Whether an operand participates as itself or transposed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Layout {
+    /// Use the matrix as stored.
+    Normal,
+    /// Use the transpose of the stored matrix.
+    Transposed,
+}
+
+/// Problem size (in multiply-adds) above which rayon row-parallelism kicks in.
+const PAR_THRESHOLD: usize = 1 << 18;
+
+/// Cache block size along the `k` dimension.
+const KC: usize = 256;
+
+/// `C = op_a(A) · op_b(B)`.
+///
+/// Shapes: with `op_a(A)` being `m×k` and `op_b(B)` being `k×n`, the result
+/// is `m×n`. Panics on inner-dimension mismatch.
+pub fn gemm(a: &Tensor, la: Layout, b: &Tensor, lb: Layout) -> Tensor {
+    let (m, k1) = effective_shape(a, la);
+    let (k2, n) = effective_shape(b, lb);
+    assert_eq!(
+        k1, k2,
+        "gemm: inner dimension mismatch ({m}x{k1} · {k2}x{n}) with layouts {la:?}/{lb:?}"
+    );
+    let mut out = Tensor::zeros(m, n);
+    gemm_into(a, la, b, lb, &mut out);
+    out
+}
+
+/// `C += op_a(A) · op_b(B)` accumulated into an existing output tensor.
+pub fn gemm_into(a: &Tensor, la: Layout, b: &Tensor, lb: Layout, out: &mut Tensor) {
+    let (m, k1) = effective_shape(a, la);
+    let (k2, n) = effective_shape(b, lb);
+    assert_eq!(k1, k2, "gemm_into: inner dimension mismatch");
+    assert_eq!(out.shape(), (m, n), "gemm_into: output shape mismatch");
+    let k = k1;
+
+    // Pack transposed operands once so the kernel always sees row-major
+    // `m×k` and `k×n` buffers with unit-stride inner loops.
+    let a_packed;
+    let a_buf: &[f64] = match la {
+        Layout::Normal => a.as_slice(),
+        Layout::Transposed => {
+            a_packed = a.transpose();
+            a_packed.as_slice()
+        }
+    };
+    let b_packed;
+    let b_buf: &[f64] = match lb {
+        Layout::Normal => b.as_slice(),
+        Layout::Transposed => {
+            b_packed = b.transpose();
+            b_packed.as_slice()
+        }
+    };
+
+    let work = m * n * k;
+    let out_buf = out.as_mut_slice();
+    if work >= PAR_THRESHOLD && m > 1 {
+        out_buf
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| kernel_row(i, row, a_buf, b_buf, k, n));
+    } else {
+        for (i, row) in out_buf.chunks_mut(n).enumerate() {
+            kernel_row(i, row, a_buf, b_buf, k, n);
+        }
+    }
+}
+
+/// Accumulate one output row: `row += A[i, :] · B`.
+#[inline]
+fn kernel_row(i: usize, row: &mut [f64], a: &[f64], b: &[f64], k: usize, n: usize) {
+    let a_row = &a[i * k..(i + 1) * k];
+    for p0 in (0..k).step_by(KC) {
+        let p1 = (p0 + KC).min(k);
+        for p in p0..p1 {
+            let aval = a_row[p];
+            if aval == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (r, &bv) in row.iter_mut().zip(b_row) {
+                *r += aval * bv;
+            }
+        }
+    }
+}
+
+#[inline]
+fn effective_shape(t: &Tensor, l: Layout) -> (usize, usize) {
+    match l {
+        Layout::Normal => t.shape(),
+        Layout::Transposed => (t.cols(), t.rows()),
+    }
+}
+
+impl Tensor {
+    /// `self · other` (no transposes). See [`gemm`] for the general form.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        gemm(self, Layout::Normal, other, Layout::Normal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = a.shape();
+        let (_, n) = b.shape();
+        Tensor::from_fn(m, n, |i, j| (0..k).map(|p| a.get(i, p) * b.get(p, j)).sum())
+    }
+
+    fn random(rng: &mut impl Rng, r: usize, c: usize) -> Tensor {
+        Tensor::from_fn(r, c, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = random(&mut rng, 6, 6);
+        assert!(a.matmul(&Tensor::eye(6)).allclose(&a, 1e-12));
+        assert!(Tensor::eye(6).matmul(&a).allclose(&a, 1e-12));
+    }
+
+    #[test]
+    fn matches_naive_on_odd_shapes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (17, 9, 23), (64, 33, 7)] {
+            let a = random(&mut rng, m, k);
+            let b = random(&mut rng, k, n);
+            assert!(a.matmul(&b).allclose(&naive(&a, &b), 1e-10), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn transposed_layouts_agree_with_explicit_transpose() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let a = random(&mut rng, 7, 4);
+        let b = random(&mut rng, 7, 5);
+        // aᵀ·b
+        let tn = gemm(&a, Layout::Transposed, &b, Layout::Normal);
+        assert!(tn.allclose(&a.transpose().matmul(&b), 1e-12));
+        // a·bᵀ with compatible shapes
+        let c = random(&mut rng, 4, 9);
+        let d = random(&mut rng, 5, 9);
+        let nt = gemm(&c, Layout::Normal, &d, Layout::Transposed);
+        assert!(nt.allclose(&c.matmul(&d.transpose()), 1e-12));
+        // aᵀ·bᵀ
+        let e = random(&mut rng, 4, 7);
+        let f = random(&mut rng, 9, 4);
+        let tt = gemm(&e, Layout::Transposed, &f, Layout::Transposed);
+        assert!(tt.allclose(&e.transpose().matmul(&f.transpose()), 1e-12));
+    }
+
+    #[test]
+    fn gemm_into_accumulates() {
+        let a = Tensor::eye(3);
+        let b = Tensor::from_fn(3, 3, |r, c| (r * 3 + c) as f64);
+        let mut c = Tensor::ones(3, 3);
+        gemm_into(&a, Layout::Normal, &b, Layout::Normal, &mut c);
+        assert!(c.allclose(&b.add_scalar(1.0), 1e-12));
+    }
+
+    #[test]
+    fn parallel_path_matches_sequential() {
+        // Large enough to cross PAR_THRESHOLD.
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let a = random(&mut rng, 128, 64);
+        let b = random(&mut rng, 64, 96);
+        assert!(a.matmul(&b).allclose(&naive(&a, &b), 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn shape_mismatch_panics() {
+        let _ = Tensor::zeros(2, 3).matmul(&Tensor::zeros(4, 2));
+    }
+
+    #[test]
+    fn associativity_with_identity_chain() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let a = random(&mut rng, 5, 8);
+        let b = random(&mut rng, 8, 5);
+        let left = a.matmul(&b);
+        let right = gemm(&b, Layout::Transposed, &a, Layout::Transposed).transpose();
+        // (A·B) == (Bᵀ·Aᵀ)ᵀ
+        assert!(left.allclose(&right, 1e-12));
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! Dense row-major `f64` tensors for the Mosaic Flow stack.
+//!
+//! This crate is the numerical substrate shared by the autodiff engine
+//! (`mf-autodiff`), the finite-difference solvers (`mf-numerics`) and the
+//! neural-network layers (`mf-nn`). It deliberately implements only what
+//! physics-informed neural PDE solvers need:
+//!
+//! * a 2-D row-major [`Tensor`] (vectors are `1×n` or `n×1`),
+//! * a blocked GEMM with optional transposes and rayon row-parallelism,
+//! * the axis/broadcast operations required by the *input-split* layer of
+//!   SDNet (grouped row repetition and grouped row summation),
+//! * reductions and norms used by losses and convergence tests.
+//!
+//! All operations validate shapes and panic with a descriptive message on
+//! mismatch; shape errors in a PDE solver are programming errors, not
+//! recoverable conditions.
+
+mod gemm;
+mod ops;
+#[cfg(test)]
+mod proptests;
+mod tensor;
+
+pub use gemm::{gemm, gemm_into, Layout};
+pub use ops::{fold1d_circular, unfold1d_circular};
+pub use tensor::Tensor;
+
+/// Relative/absolute tolerance comparison for floating-point test code.
+///
+/// Returns `true` when `|a - b| <= atol + rtol * |b|`.
+#[inline]
+pub fn close(a: f64, b: f64, rtol: f64, atol: f64) -> bool {
+    (a - b).abs() <= atol + rtol * b.abs()
+}
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+
+    #[test]
+    fn close_is_tolerant() {
+        assert!(close(1.0, 1.0 + 1e-12, 1e-9, 1e-9));
+        assert!(!close(1.0, 1.1, 1e-9, 1e-9));
+    }
+}

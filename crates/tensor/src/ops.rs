@@ -1,0 +1,341 @@
+//! Axis, broadcast and block operations.
+//!
+//! These are the structural operations behind SDNet's *input-split* layer
+//! (§3.2 of the paper) and the Mosaic Flow predictor's boundary bookkeeping:
+//! grouped row repetition/summation implement the broadcasted sum
+//! `ĝW₁ᵀ ⊕ XW₂ᵀ`, and the column slice/concat pair supports the
+//! *input-concat* baseline and extracting ∂u/∂x, ∂u/∂y columns from
+//! gradient tensors.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Sum over rows, producing a `1×cols` row vector.
+    pub fn sum_axis0(&self) -> Tensor {
+        let mut out = Tensor::zeros(1, self.cols());
+        let o = out.as_mut_slice();
+        for r in 0..self.rows() {
+            for (acc, &v) in o.iter_mut().zip(self.row(r)) {
+                *acc += v;
+            }
+        }
+        out
+    }
+
+    /// Sum over columns, producing a `rows×1` column vector.
+    pub fn sum_axis1(&self) -> Tensor {
+        Tensor::from_fn(self.rows(), 1, |r, _| self.row(r).iter().sum())
+    }
+
+    /// Add a `1×cols` row vector to every row.
+    pub fn broadcast_row_add(&self, row: &Tensor) -> Tensor {
+        assert_eq!(row.rows(), 1, "broadcast_row_add: rhs must be a row vector");
+        assert_eq!(row.cols(), self.cols(), "broadcast_row_add: column mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(row.row(0)) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Repeat every row `q` times consecutively: `[B, d] -> [B*q, d]`.
+    ///
+    /// This is the broadcast half of the input-split optimization: each
+    /// boundary embedding row is shared by the `q` query points of that
+    /// boundary without materializing the replicated boundary matrix `G`.
+    pub fn repeat_rows(&self, q: usize) -> Tensor {
+        assert!(q > 0, "repeat_rows: q must be positive");
+        let (b, d) = self.shape();
+        let mut out = Tensor::zeros(b * q, d);
+        for r in 0..b {
+            let src = self.row(r).to_vec();
+            for i in 0..q {
+                out.row_mut(r * q + i).copy_from_slice(&src);
+            }
+        }
+        out
+    }
+
+    /// Sum consecutive groups of `q` rows: `[B*q, d] -> [B, d]`.
+    ///
+    /// The adjoint of [`Tensor::repeat_rows`].
+    pub fn sum_groups(&self, q: usize) -> Tensor {
+        assert!(q > 0, "sum_groups: q must be positive");
+        let (bq, d) = self.shape();
+        assert_eq!(bq % q, 0, "sum_groups: {bq} rows not divisible by group size {q}");
+        let b = bq / q;
+        let mut out = Tensor::zeros(b, d);
+        for r in 0..bq {
+            let dst = r / q;
+            for c in 0..d {
+                let v = self.get(r, c);
+                *out.row_mut(dst).get_mut(c).unwrap() += v;
+            }
+        }
+        out
+    }
+
+    /// Copy of columns `[start, start+len)`.
+    pub fn slice_cols(&self, start: usize, len: usize) -> Tensor {
+        assert!(
+            start + len <= self.cols(),
+            "slice_cols: [{start}, {}) out of bounds for {} cols",
+            start + len,
+            self.cols()
+        );
+        Tensor::from_fn(self.rows(), len, |r, c| self.get(r, start + c))
+    }
+
+    /// Copy of rows `[start, start+len)`.
+    pub fn slice_rows(&self, start: usize, len: usize) -> Tensor {
+        assert!(
+            start + len <= self.rows(),
+            "slice_rows: [{start}, {}) out of bounds for {} rows",
+            start + len,
+            self.rows()
+        );
+        let mut out = Tensor::zeros(len, self.cols());
+        for r in 0..len {
+            out.row_mut(r).copy_from_slice(self.row(start + r));
+        }
+        out
+    }
+
+    /// Horizontal concatenation: `[r×c1] ++ [r×c2] -> [r×(c1+c2)]`.
+    pub fn concat_cols(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows(), other.rows(), "concat_cols: row mismatch");
+        let (r, c1) = self.shape();
+        let c2 = other.cols();
+        let mut out = Tensor::zeros(r, c1 + c2);
+        for i in 0..r {
+            out.row_mut(i)[..c1].copy_from_slice(self.row(i));
+            out.row_mut(i)[c1..].copy_from_slice(other.row(i));
+        }
+        out
+    }
+
+    /// Vertical concatenation: `[r1×c]` on top of `[r2×c]`.
+    pub fn concat_rows(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols(), other.cols(), "concat_rows: column mismatch");
+        let mut data = Vec::with_capacity(self.numel() + other.numel());
+        data.extend_from_slice(self.as_slice());
+        data.extend_from_slice(other.as_slice());
+        Tensor::from_vec(self.rows() + other.rows(), self.cols(), data)
+    }
+
+    /// Stack a list of same-width tensors vertically.
+    pub fn vstack(parts: &[Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "vstack: empty input");
+        let cols = parts[0].cols();
+        let rows: usize = parts.iter().map(|p| p.rows()).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            assert_eq!(p.cols(), cols, "vstack: column mismatch");
+            data.extend_from_slice(p.as_slice());
+        }
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    /// Embed this tensor as columns `[start, start+cols)` of a wider
+    /// zero matrix with `total` columns (adjoint of [`Tensor::slice_cols`]).
+    pub fn pad_cols(&self, start: usize, total: usize) -> Tensor {
+        assert!(start + self.cols() <= total, "pad_cols: slice exceeds target width");
+        let mut out = Tensor::zeros(self.rows(), total);
+        for r in 0..self.rows() {
+            out.row_mut(r)[start..start + self.cols()].copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Embed this tensor as rows `[start, start+rows)` of a taller zero
+    /// matrix with `total` rows (adjoint of [`Tensor::slice_rows`]).
+    pub fn pad_rows(&self, start: usize, total: usize) -> Tensor {
+        assert!(start + self.rows() <= total, "pad_rows: slice exceeds target height");
+        let mut out = Tensor::zeros(total, self.cols());
+        for r in 0..self.rows() {
+            out.row_mut(start + r).copy_from_slice(self.row(r));
+        }
+        out
+    }
+}
+
+/// Circular 1-D unfold (im2col) for multi-channel signals stored
+/// position-major: row `b` of `input` holds `[pos0·ch0..pos0·chC, pos1·ch0..]`,
+/// i.e. `len` positions × `channels` interleaved channels.
+///
+/// Produces a `[B·len, k·channels]` matrix whose row `(b, p)` is the window
+/// of `k` positions centred at `p` (offsets `-(k-1)/2 ..= k/2`), wrapping
+/// around the closed boundary curve. A GEMM of the result with a
+/// `[k·channels → out_channels]` filter matrix implements circular
+/// convolution; this factorization lets the autodiff engine differentiate
+/// convolutions to arbitrary order through its GEMM rules.
+pub fn unfold1d_circular(input: &Tensor, channels: usize, k: usize) -> Tensor {
+    let (b, width) = input.shape();
+    assert!(k >= 1, "unfold1d_circular: kernel size must be >= 1");
+    assert_eq!(width % channels, 0, "unfold1d_circular: width not divisible by channels");
+    let len = width / channels;
+    assert!(len >= 1, "unfold1d_circular: empty signal");
+    let half = (k - 1) / 2;
+    let mut out = Tensor::zeros(b * len, k * channels);
+    for bi in 0..b {
+        let src = input.row(bi);
+        for p in 0..len {
+            let dst = out.row_mut(bi * len + p);
+            for w in 0..k {
+                // Window position with circular wrap.
+                let pos = (p + len + w - half) % len;
+                let s = &src[pos * channels..(pos + 1) * channels];
+                dst[w * channels..(w + 1) * channels].copy_from_slice(s);
+            }
+        }
+    }
+    out
+}
+
+/// Adjoint of [`unfold1d_circular`]: scatter-add windows back onto the signal.
+///
+/// `grad` is `[B·len, k·channels]`; the result is `[B, len·channels]`.
+pub fn fold1d_circular(grad: &Tensor, b: usize, channels: usize, k: usize) -> Tensor {
+    let (rows, wk) = grad.shape();
+    assert_eq!(wk, k * channels, "fold1d_circular: width mismatch");
+    assert_eq!(rows % b, 0, "fold1d_circular: rows not divisible by batch");
+    let len = rows / b;
+    let half = (k - 1) / 2;
+    let mut out = Tensor::zeros(b, len * channels);
+    for bi in 0..b {
+        for p in 0..len {
+            let src = grad.row(bi * len + p);
+            let dst = out.row_mut(bi);
+            for w in 0..k {
+                let pos = (p + len + w - half) % len;
+                for c in 0..channels {
+                    dst[pos * channels + c] += src[w * channels + c];
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_axis0_and_axis1() {
+        let t = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(t.sum_axis0().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(t.sum_axis1().as_slice(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn broadcast_row_add_works() {
+        let t = Tensor::zeros(3, 2);
+        let row = Tensor::row_vector(&[1.0, 2.0]);
+        let out = t.broadcast_row_add(&row);
+        for r in 0..3 {
+            assert_eq!(out.row(r), &[1.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn repeat_then_sum_groups_scales_by_q() {
+        let t = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let rep = t.repeat_rows(3);
+        assert_eq!(rep.shape(), (6, 2));
+        assert_eq!(rep.row(0), rep.row(2));
+        assert_eq!(rep.row(3), &[3.0, 4.0]);
+        let back = rep.sum_groups(3);
+        assert!(back.allclose(&t.scale(3.0), 1e-12));
+    }
+
+    #[test]
+    fn repeat_and_sum_are_adjoint() {
+        // <repeat(x), y> == <x, sum_groups(y)> for all x, y.
+        let x = Tensor::from_fn(2, 3, |r, c| (r + c) as f64);
+        let y = Tensor::from_fn(4, 3, |r, c| (r * 3 + c) as f64 * 0.5);
+        let lhs = x.repeat_rows(2).dot(&y);
+        let rhs = x.dot(&y.sum_groups(2));
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slice_and_pad_cols_round_trip() {
+        let t = Tensor::from_fn(2, 5, |r, c| (r * 5 + c) as f64);
+        let s = t.slice_cols(1, 3);
+        assert_eq!(s.row(0), &[1.0, 2.0, 3.0]);
+        let p = s.pad_cols(1, 5);
+        assert_eq!(p.row(0), &[0.0, 1.0, 2.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn slice_and_pad_rows_round_trip() {
+        let t = Tensor::from_fn(4, 2, |r, c| (r * 2 + c) as f64);
+        let s = t.slice_rows(1, 2);
+        assert_eq!(s.as_slice(), &[2.0, 3.0, 4.0, 5.0]);
+        let p = s.pad_rows(1, 4);
+        assert_eq!(p.row(0), &[0.0, 0.0]);
+        assert_eq!(p.row(2), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn concat_cols_and_rows() {
+        let a = Tensor::ones(2, 2);
+        let b = Tensor::zeros(2, 1);
+        let c = a.concat_cols(&b);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.row(0), &[1.0, 1.0, 0.0]);
+        let d = a.concat_rows(&Tensor::full(1, 2, 5.0));
+        assert_eq!(d.shape(), (3, 2));
+        assert_eq!(d.row(2), &[5.0, 5.0]);
+    }
+
+    #[test]
+    fn vstack_matches_repeated_concat() {
+        let a = Tensor::full(1, 2, 1.0);
+        let b = Tensor::full(2, 2, 2.0);
+        let c = Tensor::full(1, 2, 3.0);
+        let v = Tensor::vstack(&[a.clone(), b.clone(), c.clone()]);
+        assert_eq!(v, a.concat_rows(&b).concat_rows(&c));
+    }
+
+    #[test]
+    fn unfold_single_channel_windows_wrap() {
+        // Signal of 4 positions, 1 channel, kernel 3 -> window offsets -1,0,1.
+        let sig = Tensor::row_vector(&[0.0, 1.0, 2.0, 3.0]);
+        let u = unfold1d_circular(&sig, 1, 3);
+        assert_eq!(u.shape(), (4, 3));
+        assert_eq!(u.row(0), &[3.0, 0.0, 1.0]); // wraps to the left
+        assert_eq!(u.row(1), &[0.0, 1.0, 2.0]);
+        assert_eq!(u.row(3), &[2.0, 3.0, 0.0]); // wraps to the right
+    }
+
+    #[test]
+    fn unfold_multi_channel_interleaves() {
+        // 3 positions × 2 channels, kernel 1: unfold is identity per position.
+        let sig = Tensor::row_vector(&[1.0, 10.0, 2.0, 20.0, 3.0, 30.0]);
+        let u = unfold1d_circular(&sig, 2, 1);
+        assert_eq!(u.shape(), (3, 2));
+        assert_eq!(u.row(1), &[2.0, 20.0]);
+    }
+
+    #[test]
+    fn unfold_and_fold_are_adjoint() {
+        // <unfold(x), y> == <x, fold(y)>.
+        let x = Tensor::from_fn(2, 8, |r, c| ((r * 8 + c) as f64).sin());
+        let y = Tensor::from_fn(8, 6, |r, c| ((r * 6 + c) as f64).cos());
+        let lhs = unfold1d_circular(&x, 2, 3).dot(&y);
+        let rhs = x.dot(&fold1d_circular(&y, 2, 2, 3));
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fold_of_unfold_counts_each_position_k_times() {
+        let sig = Tensor::row_vector(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let u = unfold1d_circular(&sig, 1, 3);
+        let f = fold1d_circular(&u, 1, 1, 3);
+        assert!(f.allclose(&sig.scale(3.0), 1e-12));
+    }
+}

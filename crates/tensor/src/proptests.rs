@@ -1,0 +1,129 @@
+//! Property-based tests of the tensor algebra: the identities the autodiff
+//! rules and the GEMM kernel silently rely on.
+
+use crate::{fold1d_circular, gemm, unfold1d_circular, Layout, Tensor};
+use proptest::prelude::*;
+
+/// Strategy: a tensor with the given shape and bounded entries.
+fn tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn addition_commutes(a in tensor(3, 4), b in tensor(3, 4)) {
+        prop_assert!(a.add(&b).allclose(&b.add(&a), 1e-12));
+    }
+
+    #[test]
+    fn multiplication_distributes_over_addition(
+        a in tensor(2, 3), b in tensor(2, 3), c in tensor(2, 3)
+    ) {
+        let lhs = a.mul(&b.add(&c));
+        let rhs = a.mul(&b).add(&a.mul(&c));
+        prop_assert!(lhs.allclose(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn matmul_is_associative(a in tensor(2, 3), b in tensor(3, 4), c in tensor(4, 2)) {
+        let lhs = a.matmul(&b).matmul(&c);
+        let rhs = a.matmul(&b.matmul(&c));
+        prop_assert!(lhs.allclose(&rhs, 1e-8), "max diff {}", lhs.max_abs_diff(&rhs));
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in tensor(3, 4), b in tensor(4, 2)) {
+        // (AB)ᵀ = BᵀAᵀ
+        let lhs = a.matmul(&b).transpose();
+        let rhs = gemm(&b, Layout::Transposed, &a, Layout::Transposed);
+        prop_assert!(lhs.allclose(&rhs, 1e-10));
+    }
+
+    #[test]
+    fn transposed_layouts_match_explicit_transpose(a in tensor(4, 3), b in tensor(4, 5)) {
+        let fast = gemm(&a, Layout::Transposed, &b, Layout::Normal);
+        let slow = a.transpose().matmul(&b);
+        prop_assert!(fast.allclose(&slow, 1e-10));
+    }
+
+    #[test]
+    fn dot_product_is_bilinear(a in tensor(1, 6), b in tensor(1, 6), k in -5.0f64..5.0) {
+        let lhs = a.scale(k).dot(&b);
+        let rhs = k * a.dot(&b);
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn repeat_sum_groups_adjoint(x in tensor(3, 2), y in tensor(12, 2)) {
+        // <repeat(x), y> == <x, sum_groups(y)>
+        let lhs = x.repeat_rows(4).dot(&y);
+        let rhs = x.dot(&y.sum_groups(4));
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn unfold_fold_adjoint(x in tensor(2, 10), y in tensor(10, 6)) {
+        // <unfold(x), y> == <x, fold(y)> with 2 channels, kernel 3.
+        let lhs = unfold1d_circular(&x, 2, 3).dot(&y);
+        let rhs = x.dot(&fold1d_circular(&y, 2, 2, 3));
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn slice_pad_adjoint(x in tensor(3, 4), y in tensor(3, 9)) {
+        // <pad(x), y> == <x, slice(y)> for the same window.
+        let lhs = x.pad_cols(2, 9).dot(&y);
+        let rhs = x.dot(&y.slice_cols(2, 4));
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn norms_satisfy_triangle_inequality(a in tensor(4, 4), b in tensor(4, 4)) {
+        prop_assert!(a.add(&b).norm_l2() <= a.norm_l2() + b.norm_l2() + 1e-9);
+        prop_assert!(a.add(&b).norm_linf() <= a.norm_linf() + b.norm_linf() + 1e-12);
+    }
+
+    #[test]
+    fn reshape_preserves_sum_and_norm(a in tensor(4, 6)) {
+        let r = a.reshape(3, 8);
+        prop_assert!((a.sum() - r.sum()).abs() < 1e-9);
+        prop_assert!((a.norm_l2() - r.norm_l2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vstack_then_slice_rows_roundtrips(a in tensor(2, 3), b in tensor(4, 3)) {
+        let v = Tensor::vstack(&[a.clone(), b.clone()]);
+        prop_assert!(v.slice_rows(0, 2).allclose(&a, 0.0));
+        prop_assert!(v.slice_rows(2, 4).allclose(&b, 0.0));
+    }
+
+    #[test]
+    fn sum_axis_decompositions_agree(a in tensor(5, 7)) {
+        let total = a.sum();
+        prop_assert!((a.sum_axis0().sum() - total).abs() < 1e-9);
+        prop_assert!((a.sum_axis1().sum() - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gemm_into_accumulation_is_additive(a in tensor(3, 3), b in tensor(3, 3)) {
+        use crate::gemm_into;
+        let mut acc = Tensor::zeros(3, 3);
+        gemm_into(&a, Layout::Normal, &b, Layout::Normal, &mut acc);
+        gemm_into(&a, Layout::Normal, &b, Layout::Normal, &mut acc);
+        let twice = a.matmul(&b).scale(2.0);
+        prop_assert!(acc.allclose(&twice, 1e-9));
+    }
+
+    #[test]
+    fn broadcast_row_add_matches_manual(a in tensor(4, 3), row in tensor(1, 3)) {
+        let out = a.broadcast_row_add(&row);
+        for r in 0..4 {
+            for c in 0..3 {
+                prop_assert!((out.get(r, c) - a.get(r, c) - row.get(0, c)).abs() < 1e-12);
+            }
+        }
+    }
+}

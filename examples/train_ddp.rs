@@ -1,0 +1,71 @@
+//! Distributed data-parallel SDNet training (Algorithm 1) on simulated
+//! devices, with the paper's learning-rate scaling rules.
+//!
+//! Trains the same model on 1, 2 and 4 simulated devices and reports the
+//! per-epoch validation MSE, the gradient-allreduce volume, and the
+//! effect of the fused single allreduce vs one allreduce per loss term.
+//!
+//! ```text
+//! cargo run --release --example train_ddp
+//! ```
+
+use mosaic_flow::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let spec = SubdomainSpec { m: 9, spatial: 0.5 };
+    let dataset = Dataset::generate(spec, 96, 3);
+    let (train, val) = dataset.split(0.875);
+    println!("dataset: {} train / {} val", train.len(), val.len());
+
+    let mut config = SdNetConfig::small(spec.boundary_len());
+    config.conv_channels = vec![4];
+    config.hidden = vec![32, 32];
+    let template = SdNet::new(config, &mut ChaCha8Rng::seed_from_u64(0));
+    println!("SDNet parameters: {}\n", template.count_params());
+
+    let epochs = 12;
+    let cfg = TrainConfig {
+        epochs,
+        batch_size: 4,
+        qd: 32,
+        qc: 8,
+        pde_weight: 0.02,
+        schedule: LrSchedule { max_lr: 4e-3, ..LrSchedule::paper_default(epochs * 20) },
+        opt: OptKind::Lamb(0.0),
+        seed: 0,
+        clip_norm: None,
+    };
+
+    println!("devices  final val MSE  epochs/s  allreduce MB/rank  (LR scaled by sqrt(P))");
+    for world in [1usize, 2, 4] {
+        let t0 = std::time::Instant::now();
+        let res = train_ddp(world, &template, &train, &val, &cfg, GradSync::Fused);
+        let secs = t0.elapsed().as_secs_f64();
+        let mb = res.comm_stats[0].bytes_sent as f64 / 1e6;
+        println!(
+            "{:7}  {:13.5}  {:8.2}  {:17.2}",
+            world,
+            res.logs.last().unwrap().val_mse,
+            epochs as f64 / secs,
+            mb
+        );
+    }
+
+    // Ablation: fused single allreduce (Algorithm 1) vs per-loss sync.
+    println!("\ngradient sync ablation on 2 devices:");
+    for (name, sync) in [("fused (Algorithm 1)", GradSync::Fused), ("per-loss", GradSync::PerLoss)]
+    {
+        let res = train_ddp(2, &template, &train, &val, &cfg, sync);
+        println!(
+            "  {:20}  val MSE {:.5}  msgs/rank {:6}  bytes/rank {}",
+            name,
+            res.logs.last().unwrap().val_mse,
+            res.comm_stats[0].msgs_sent,
+            res.comm_stats[0].bytes_sent
+        );
+    }
+    println!("\n(identical val MSE, half the collectives: the fused allreduce");
+    println!(" preserves SGD semantics while paying one collective per step)");
+}

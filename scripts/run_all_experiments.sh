@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure and the ablations, capturing outputs
+# under results/. Pass --full to scale toward paper sizes.
+set -u
+cd "$(dirname "$0")/.."
+mkdir -p results
+FLAG="${1:-}"
+for bin in repro_fig1 repro_table3 repro_fig5 repro_fig6 repro_fig7 \
+           repro_fig8 repro_fig9a repro_fig9b repro_ablations; do
+    echo "=== $bin $FLAG ==="
+    cargo run -p mf-bench --release --bin "$bin" -- $FLAG \
+        > "results/${bin}${FLAG:+_full}.txt" 2>&1
+    tail -3 "results/${bin}${FLAG:+_full}.txt"
+done
+echo "outputs in results/"

@@ -1,0 +1,290 @@
+//! `mosaic-flow` — command-line interface to the Mosaic Flow library.
+//!
+//! ```text
+//! mosaic-flow train  --samples 200 --epochs 60 --m 9 --out model.mfn [--devices P]
+//! mosaic-flow info   --model model.mfn
+//! mosaic-flow eval   --model model.mfn --samples 20
+//! mosaic-flow solve  --domain 2x1 [--model model.mfn | --oracle]
+//!                    [--boundary sin | gp:SEED] [--ranks P] [--coarse-init]
+//!                    [--out grid.csv]
+//! ```
+//!
+//! `solve` prints convergence info and the MAE against a direct multigrid
+//! reference; `--out` writes the dense solution grid as CSV (row 0 =
+//! bottom edge).
+
+use mosaic_flow::numerics::boundary::boundary_from_fn;
+use mosaic_flow::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            // Boolean flags have no value or are followed by another flag.
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(name.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (positional, flags)
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    flags.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mosaic-flow <train|info|eval|solve> [flags]\n\
+         \n\
+         train --samples N --epochs E [--m 9] [--devices P] --out model.mfn\n\
+         info  --model model.mfn\n\
+         eval  --model model.mfn [--samples 20] [--seed 1]\n\
+         solve --domain SXxSY [--model model.mfn | --oracle] [--boundary sin|gp:SEED]\n\
+               [--ranks P] [--coarse-init] [--out grid.csv]"
+    );
+    ExitCode::FAILURE
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> ExitCode {
+    let m: usize = get(flags, "m", 9);
+    let samples: usize = get(flags, "samples", 200);
+    let epochs: usize = get(flags, "epochs", 60);
+    let devices: usize = get(flags, "devices", 1);
+    let seed: u64 = get(flags, "seed", 0);
+    let Some(out) = flags.get("out") else {
+        eprintln!("train: --out <path> is required");
+        return ExitCode::FAILURE;
+    };
+    let spec = SubdomainSpec { m, spatial: 0.5 };
+    eprintln!("generating {samples} samples on a {m}x{m} subdomain ...");
+    let dataset = Dataset::generate(spec, samples, seed);
+    let (train, val) = dataset.split(0.9);
+
+    let mut cfg = SdNetConfig::small(spec.boundary_len());
+    cfg.conv_channels = vec![4];
+    cfg.hidden = vec![48, 48, 48];
+    let template = SdNet::new(cfg, &mut ChaCha8Rng::seed_from_u64(seed));
+    let steps = epochs * (train.len() / devices / 8).max(1);
+    let tc = TrainConfig {
+        epochs,
+        batch_size: 8,
+        qd: 48,
+        qc: 16,
+        pde_weight: 0.02,
+        schedule: LrSchedule { max_lr: 8e-3, ..LrSchedule::paper_default(steps) },
+        opt: if devices > 1 { OptKind::Lamb(0.0) } else { OptKind::Adam },
+        seed,
+        clip_norm: None,
+    };
+    eprintln!("training for {epochs} epochs on {devices} simulated device(s) ...");
+    let net = if devices == 1 {
+        let mut net = template;
+        let logs = train_single(&mut net, &train, &val, &tc);
+        eprintln!("final val MSE: {:.5}", logs.last().unwrap().val_mse);
+        net
+    } else {
+        let res = train_ddp(devices, &template, &train, &val, &tc, GradSync::Fused);
+        eprintln!("final val MSE: {:.5}", res.logs.last().unwrap().val_mse);
+        let mut net = template;
+        net.params.unflatten(&res.params_flat);
+        net
+    };
+    if let Err(e) = net.save(out) {
+        eprintln!("failed to save model: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("saved {} parameters to {out}", net.count_params());
+    ExitCode::SUCCESS
+}
+
+fn cmd_info(flags: &HashMap<String, String>) -> ExitCode {
+    let Some(path) = flags.get("model") else {
+        eprintln!("info: --model <path> is required");
+        return ExitCode::FAILURE;
+    };
+    match SdNet::load(path) {
+        Ok(net) => {
+            let c = net.config();
+            println!("SDNet model: {path}");
+            println!("  boundary walk : {} points (m = {})", c.boundary_len, c.boundary_len / 4 + 1);
+            println!("  conv embedding: {:?} channels, kernel {}", c.conv_channels, c.conv_kernel);
+            println!("  trunk         : {:?} ({:?}, {:?} embedding)", c.hidden, c.activation, c.embedding);
+            println!("  coord extent  : {}", c.coord_extent);
+            println!("  parameters    : {}", net.count_params());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to load model: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_eval(flags: &HashMap<String, String>) -> ExitCode {
+    let Some(path) = flags.get("model") else {
+        eprintln!("eval: --model <path> is required");
+        return ExitCode::FAILURE;
+    };
+    let samples: usize = get(flags, "samples", 20);
+    let seed: u64 = get(flags, "seed", 1);
+    let net = match SdNet::load(path) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("failed to load model: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let m = net.config().boundary_len / 4 + 1;
+    let spec = SubdomainSpec { m, spatial: net.config().coord_extent };
+    let ds = Dataset::generate(spec, samples, seed);
+    println!("val MSE on {} fresh samples: {:.6}", samples, evaluate_mse(&net, &ds));
+    ExitCode::SUCCESS
+}
+
+fn cmd_solve(flags: &HashMap<String, String>) -> ExitCode {
+    let domain_str = flags.get("domain").cloned().unwrap_or_else(|| "2x1".to_string());
+    let Some((sx, sy)) = domain_str.split_once('x').and_then(|(a, b)| {
+        Some((a.parse::<usize>().ok()?, b.parse::<usize>().ok()?))
+    }) else {
+        eprintln!("solve: --domain must look like 4x2 (atomic subdomains)");
+        return ExitCode::FAILURE;
+    };
+    let ranks: usize = get(flags, "ranks", 1);
+    let coarse_init = flags.contains_key("coarse-init");
+
+    // Solver selection.
+    enum Chosen {
+        Oracle(OracleSolver),
+        Neural(NeuralSolver),
+    }
+    let (spec, chosen) = if let Some(path) = flags.get("model") {
+        let net = match SdNet::load(path) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("failed to load model: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let m = net.config().boundary_len / 4 + 1;
+        let spec = SubdomainSpec { m, spatial: net.config().coord_extent };
+        (spec, Chosen::Neural(NeuralSolver::new(net, spec)))
+    } else {
+        let m: usize = get(flags, "m", 9);
+        let spec = SubdomainSpec { m, spatial: 0.5 };
+        (spec, Chosen::Oracle(OracleSolver::new(spec, 1e-9)))
+    };
+
+    let domain = DomainSpec::new(spec, sx, sy);
+    let boundary_str = flags.get("boundary").cloned().unwrap_or_else(|| "sin".to_string());
+    let bc = if let Some(seed) = boundary_str.strip_prefix("gp:") {
+        let seed: u64 = seed.parse().unwrap_or(0);
+        let mut sampler =
+            BoundarySampler::new(domain.boundary_len(), (0.4, 0.8), (0.5, 1.0), true);
+        sampler.sample(&mut ChaCha8Rng::seed_from_u64(seed))
+    } else {
+        boundary_from_fn(domain.ny(), domain.nx(), |t| (2.0 * std::f64::consts::PI * t).sin())
+    };
+
+    // Reference for the MAE report.
+    let reference = {
+        use mosaic_flow::numerics::boundary::grid_with_boundary;
+        use mosaic_flow::numerics::{solve_dirichlet, Poisson};
+        let guess = grid_with_boundary(domain.ny(), domain.nx(), &bc);
+        let (sol, st) =
+            solve_dirichlet(&Poisson::laplace(domain.ny(), domain.nx(), domain.h()), &guess, 1e-9);
+        if !st.converged {
+            eprintln!("warning: reference solve did not fully converge");
+        }
+        sol
+    };
+
+    let (grid, iterations, converged) = match (&chosen, ranks) {
+        (Chosen::Oracle(s), 1) => {
+            let r = Mfp::new(s, domain).run(
+                &bc,
+                &MfpConfig { max_iters: 2000, tol: 1e-6, coarse_init, ..Default::default() },
+            );
+            (r.grid, r.iterations, r.converged)
+        }
+        (Chosen::Neural(s), 1) => {
+            let r = Mfp::new(s, domain).run(
+                &bc,
+                &MfpConfig { max_iters: 500, tol: 1e-5, coarse_init, ..Default::default() },
+            );
+            (r.grid, r.iterations, r.converged)
+        }
+        (Chosen::Oracle(s), p) => {
+            let r = run_distributed(
+                s,
+                &domain,
+                &bc,
+                p,
+                &DistMfpConfig { max_iters: 2000, tol: 1e-6, coarse_init, ..Default::default() },
+            );
+            (r.grid, r.iterations, r.converged)
+        }
+        (Chosen::Neural(s), p) => {
+            let r = run_distributed(
+                s,
+                &domain,
+                &bc,
+                p,
+                &DistMfpConfig { max_iters: 500, tol: 1e-5, coarse_init, ..Default::default() },
+            );
+            (r.grid, r.iterations, r.converged)
+        }
+    };
+
+    println!(
+        "solved {}x{} domain ({}x{} grid) on {} rank(s): {} iterations, converged = {}",
+        sx,
+        sy,
+        domain.nx(),
+        domain.ny(),
+        ranks,
+        iterations,
+        converged
+    );
+    println!("MAE vs direct multigrid solve: {:.6}", grid.mean_abs_diff(&reference));
+
+    if let Some(out) = flags.get("out") {
+        let mut csv = String::new();
+        for j in 0..grid.rows() {
+            let row: Vec<String> = grid.row(j).iter().map(|v| format!("{v:.8}")).collect();
+            csv.push_str(&row.join(","));
+            csv.push('\n');
+        }
+        if let Err(e) = std::fs::write(out, csv) {
+            eprintln!("failed to write grid: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} to {out}", domain_str);
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (positional, flags) = parse_flags(&args);
+    match positional.first().map(String::as_str) {
+        Some("train") => cmd_train(&flags),
+        Some("info") => cmd_info(&flags),
+        Some("eval") => cmd_eval(&flags),
+        Some("solve") => cmd_solve(&flags),
+        _ => usage(),
+    }
+}

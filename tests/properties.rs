@@ -1,0 +1,121 @@
+//! Cross-crate property-based tests on the invariants the paper's
+//! algorithms rely on.
+
+use mosaic_flow::numerics::boundary::{boundary_coords, grid_with_boundary};
+use mosaic_flow::numerics::{solve_dirichlet, Poisson};
+use mosaic_flow::prelude::*;
+use mosaic_flow::tensor::Tensor;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn spec() -> SubdomainSpec {
+    SubdomainSpec { m: 9, spatial: 0.5 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The MFP with the oracle solver reproduces any harmonic polynomial:
+    /// 5-point-exact harmonic functions are fixed points of the whole
+    /// Schwarz machinery.
+    #[test]
+    fn oracle_mfp_reproduces_harmonic_polynomials(
+        a in -2.0f64..2.0,
+        b in -2.0f64..2.0,
+        c in -1.0f64..1.0,
+    ) {
+        let domain = DomainSpec::new(spec(), 2, 1);
+        let h = domain.h();
+        // u = a(x² − y²) + b·xy + c·x is harmonic and 5-point exact.
+        let f = |x: f64, y: f64| a * (x * x - y * y) + b * x * y + c * x;
+        let coords = boundary_coords(domain.ny(), domain.nx());
+        let bc = Tensor::from_vec(
+            1,
+            coords.len(),
+            coords.iter().map(|&(j, i)| f(i as f64 * h, j as f64 * h)).collect(),
+        );
+        let exact =
+            Tensor::from_fn(domain.ny(), domain.nx(), |j, i| f(i as f64 * h, j as f64 * h));
+        let oracle = OracleSolver::new(spec(), 1e-10);
+        let res = Mfp::new(&oracle, domain)
+            .run(&bc, &MfpConfig { max_iters: 300, tol: 1e-9, ..Default::default() });
+        let mae = res.grid.mean_abs_diff(&exact);
+        prop_assert!(mae < 1e-5, "MAE {mae} for (a,b,c)=({a},{b},{c})");
+    }
+
+    /// Discrete maximum principle: the MFP solution never exceeds the
+    /// boundary extremes (a property of the Laplace equation that any
+    /// correct solver chain must preserve with the oracle).
+    #[test]
+    fn mfp_respects_the_maximum_principle(seed in 0u64..50) {
+        let domain = DomainSpec::new(spec(), 2, 1);
+        let mut sampler =
+            BoundarySampler::new(domain.boundary_len(), (0.4, 0.8), (0.3, 0.8), true);
+        let bc = sampler.sample(&mut ChaCha8Rng::seed_from_u64(seed));
+        let lo = bc.as_slice().iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = bc.as_slice().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let oracle = OracleSolver::new(spec(), 1e-9);
+        let res = Mfp::new(&oracle, domain)
+            .run(&bc, &MfpConfig { max_iters: 400, tol: 1e-8, ..Default::default() });
+        let tol = 1e-6 * (1.0 + hi.abs().max(lo.abs()));
+        for v in res.grid.as_slice() {
+            prop_assert!(*v >= lo - tol && *v <= hi + tol,
+                "value {v} escapes boundary range [{lo}, {hi}]");
+        }
+    }
+
+    /// Superposition: the Laplace problem is linear, so MFP(α·g) ≈
+    /// α·MFP(g) when the subdomain solver is linear (the oracle is).
+    #[test]
+    fn oracle_mfp_is_linear_in_the_boundary_condition(alpha in 0.25f64..3.0) {
+        let domain = DomainSpec::new(spec(), 2, 1);
+        let mut sampler =
+            BoundarySampler::new(domain.boundary_len(), (0.5, 0.9), (0.4, 0.8), true);
+        let bc = sampler.sample(&mut ChaCha8Rng::seed_from_u64(9));
+        let oracle = OracleSolver::new(spec(), 1e-10);
+        let mfp = Mfp::new(&oracle, domain);
+        let cfg = MfpConfig { max_iters: 300, tol: 1e-9, ..Default::default() };
+        let base = mfp.run(&bc, &cfg);
+        let scaled = mfp.run(&bc.scale(alpha), &cfg);
+        let diff = scaled.grid.max_abs_diff(&base.grid.scale(alpha));
+        prop_assert!(diff < 1e-4 * alpha.max(1.0), "superposition violated: {diff}");
+    }
+
+    /// Dataset ground truth always satisfies the discrete equation.
+    #[test]
+    fn dataset_samples_are_discretely_harmonic(seed in 0u64..30) {
+        let s = SubdomainSpec { m: 9, spatial: 0.5 };
+        let ds = Dataset::generate(s, 1, seed);
+        let p = Poisson::laplace(s.m, s.m, s.h());
+        let r = mosaic_flow::numerics::residual_norm(&p, &ds.samples[0].solution);
+        prop_assert!(r < 1e-6, "residual {r}");
+    }
+
+    /// The global multigrid reference and the oracle MFP agree for random
+    /// GP boundary conditions on non-square domains.
+    #[test]
+    fn mfp_matches_direct_solve_on_rectangular_domains(
+        seed in 0u64..20,
+        wide in prop::bool::ANY,
+    ) {
+        let (sx, sy) = if wide { (3, 1) } else { (1, 3) };
+        let domain = DomainSpec::new(spec(), sx, sy);
+        let mut sampler =
+            BoundarySampler::new(domain.boundary_len(), (0.5, 0.9), (0.4, 0.8), true);
+        let bc = sampler.sample(&mut ChaCha8Rng::seed_from_u64(seed));
+        let guess = grid_with_boundary(domain.ny(), domain.nx(), &bc);
+        let (reference, st) = solve_dirichlet(
+            &Poisson::laplace(domain.ny(), domain.nx(), domain.h()),
+            &guess,
+            1e-9,
+        );
+        prop_assert!(st.converged);
+        let oracle = OracleSolver::new(spec(), 1e-9);
+        let res = Mfp::new(&oracle, domain)
+            .run(&bc, &MfpConfig { max_iters: 600, tol: 1e-8, ..Default::default() });
+        prop_assert!(res.converged);
+        let mae = res.grid.mean_abs_diff(&reference);
+        prop_assert!(mae < 1e-3, "MAE {mae} on {sx}x{sy} domain");
+    }
+}
