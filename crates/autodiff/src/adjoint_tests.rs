@@ -202,7 +202,9 @@ fn adjoint_broadcast_rows() {
 
 #[test]
 fn adjoint_broadcast_scalar() {
-    check_unary("broadcast_scalar", (1, 1), 16, |g, x| g.broadcast_scalar(x, 3, 5));
+    check_unary("broadcast_scalar", (1, 1), 16, |g, x| {
+        g.broadcast_scalar(x, 3, 5)
+    });
 }
 
 #[test]
@@ -242,12 +244,16 @@ fn adjoint_pad_rows() {
 
 #[test]
 fn adjoint_concat_cols() {
-    check_binary("concat_cols", (3, 2), (3, 4), 24, |g, a, b| g.concat_cols(a, b));
+    check_binary("concat_cols", (3, 2), (3, 4), 24, |g, a, b| {
+        g.concat_cols(a, b)
+    });
 }
 
 #[test]
 fn adjoint_concat_rows() {
-    check_binary("concat_rows", (2, 3), (4, 3), 25, |g, a, b| g.concat_rows(a, b));
+    check_binary("concat_rows", (2, 3), (4, 3), 25, |g, a, b| {
+        g.concat_rows(a, b)
+    });
 }
 
 #[test]

@@ -318,7 +318,13 @@ impl Graph {
         v.0 < needed.len() && needed[v.0]
     }
 
-    fn accumulate(&mut self, target: Var, contribution: Var, needed: &[bool], adjoint: &mut [Option<Var>]) {
+    fn accumulate(
+        &mut self,
+        target: Var,
+        contribution: Var,
+        needed: &[bool],
+        adjoint: &mut [Option<Var>],
+    ) {
         if !self.wants(target, needed) {
             return;
         }
@@ -385,10 +391,14 @@ mod tests {
         let x3 = g.mul(x2, x);
         let f = g.sum(x3);
         let d1 = g.grad(f, &[x])[0];
-        assert!(g.value(d1).allclose(&Tensor::row_vector(&[3.0, 12.0, 6.75]), 1e-12));
+        assert!(g
+            .value(d1)
+            .allclose(&Tensor::row_vector(&[3.0, 12.0, 6.75]), 1e-12));
         let s1 = g.sum(d1);
         let d2 = g.grad(s1, &[x])[0];
-        assert!(g.value(d2).allclose(&Tensor::row_vector(&[6.0, 12.0, -9.0]), 1e-12));
+        assert!(g
+            .value(d2)
+            .allclose(&Tensor::row_vector(&[6.0, 12.0, -9.0]), 1e-12));
         let s2 = g.sum(d2);
         let d3 = g.grad(s2, &[x])[0];
         assert!(g.value(d3).allclose(&Tensor::full(1, 3, 6.0), 1e-12));

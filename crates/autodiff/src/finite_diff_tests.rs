@@ -163,7 +163,9 @@ fn laplacian_of_harmonic_polynomial_is_zero() {
     // and verify the double-backward Laplacian is exactly zero — the same
     // code path as the physics-informed loss.
     let mut g = Graph::new();
-    let pts = Tensor::from_fn(5, 2, |r, c| 0.1 * (r as f64 + 1.0) * if c == 0 { 1.0 } else { -0.7 });
+    let pts = Tensor::from_fn(5, 2, |r, c| {
+        0.1 * (r as f64 + 1.0) * if c == 0 { 1.0 } else { -0.7 }
+    });
     let x = g.leaf(pts);
     let xc = g.slice_cols(x, 0, 1);
     let yc = g.slice_cols(x, 1, 1);
@@ -182,7 +184,10 @@ fn laplacian_of_harmonic_polynomial_is_zero() {
     let uxx = g.slice_cols(duxx, 0, 1);
     let uyy = g.slice_cols(duyy, 1, 1);
     let lap = g.add(uxx, uyy);
-    assert!(g.value(lap).norm_linf() < 1e-12, "Laplacian of harmonic fn must vanish");
+    assert!(
+        g.value(lap).norm_linf() < 1e-12,
+        "Laplacian of harmonic fn must vanish"
+    );
 }
 
 proptest! {

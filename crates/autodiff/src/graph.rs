@@ -142,7 +142,10 @@ impl Graph {
 
     /// Node and byte counts in one call.
     pub fn stats(&self) -> GraphStats {
-        GraphStats { nodes: self.len(), bytes: self.bytes_allocated() }
+        GraphStats {
+            nodes: self.len(),
+            bytes: self.bytes_allocated(),
+        }
     }
 
     /// The computed value of a variable.
@@ -176,7 +179,11 @@ impl Graph {
     }
 
     pub(crate) fn push(&mut self, op: Op, value: Tensor, requires_grad: bool) -> Var {
-        self.nodes.push(Node { op, value, requires_grad });
+        self.nodes.push(Node {
+            op,
+            value,
+            requires_grad,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -191,13 +198,35 @@ pub(crate) fn op_inputs(op: &Op) -> Vec<Var> {
     use Op::*;
     match *op {
         Leaf | Const => vec![],
-        Add(a, b) | Sub(a, b) | Mul(a, b) | MatMul(a, _, b, _) | ConcatCols(a, b)
+        Add(a, b)
+        | Sub(a, b)
+        | Mul(a, b)
+        | MatMul(a, _, b, _)
+        | ConcatCols(a, b)
         | ConcatRows(a, b) => vec![a, b],
-        Neg(a) | Scale(a, _) | AddScalar(a, _) | Transpose(a) | SumAll(a) | MeanAll(a)
-        | SumAxis0(a) | BroadcastRows(a, _) | BroadcastScalar(a, _, _) | RepeatRows(a, _)
-        | SumGroups(a, _) | Reshape(a, _, _) | SliceCols(a, _, _) | PadCols(a, _, _)
-        | SliceRows(a, _, _) | PadRows(a, _, _) | Unfold1d(a, _, _) | Fold1d(a, _, _, _)
-        | Tanh(a) | Exp(a) | Gelu(a) | Sin(a) | Cos(a) => vec![a],
+        Neg(a)
+        | Scale(a, _)
+        | AddScalar(a, _)
+        | Transpose(a)
+        | SumAll(a)
+        | MeanAll(a)
+        | SumAxis0(a)
+        | BroadcastRows(a, _)
+        | BroadcastScalar(a, _, _)
+        | RepeatRows(a, _)
+        | SumGroups(a, _)
+        | Reshape(a, _, _)
+        | SliceCols(a, _, _)
+        | PadCols(a, _, _)
+        | SliceRows(a, _, _)
+        | PadRows(a, _, _)
+        | Unfold1d(a, _, _)
+        | Fold1d(a, _, _, _)
+        | Tanh(a)
+        | Exp(a)
+        | Gelu(a)
+        | Sin(a)
+        | Cos(a) => vec![a],
     }
 }
 

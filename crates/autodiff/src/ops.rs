@@ -96,7 +96,11 @@ impl Graph {
 
     /// Broadcast a `1×d` row to `q×d`.
     pub fn broadcast_rows(&mut self, a: Var, q: usize) -> Var {
-        assert_eq!(self.value(a).rows(), 1, "broadcast_rows: input must be a row vector");
+        assert_eq!(
+            self.value(a).rows(),
+            1,
+            "broadcast_rows: input must be a row vector"
+        );
         let v = self.value(a).repeat_rows(q);
         self.push_op(Op::BroadcastRows(a, q), v)
     }

@@ -22,7 +22,13 @@ fn bench_mfp_iteration(c: &mut Criterion) {
         let mfp = Mfp::new(&solver, domain);
         for batched in [false, true] {
             let label = if batched { "batched" } else { "unbatched" };
-            let cfg = MfpConfig { max_iters: 1, tol: 0.0, batched, target: None, coarse_init: false };
+            let cfg = MfpConfig {
+                max_iters: 1,
+                tol: 0.0,
+                batched,
+                target: None,
+                coarse_init: false,
+            };
             group.bench_with_input(
                 BenchmarkId::new(label, format!("{sx}x{sy}")),
                 &cfg,
@@ -42,7 +48,13 @@ fn bench_oracle_vs_neural(c: &mut Criterion) {
     let oracle = OracleSolver::new(spec, 1e-9);
     let domain = DomainSpec::new(spec, 2, 2);
     let bc = gp_boundary(&domain, 1);
-    let cfg = MfpConfig { max_iters: 5, tol: 0.0, batched: true, target: None, coarse_init: false };
+    let cfg = MfpConfig {
+        max_iters: 5,
+        tol: 0.0,
+        batched: true,
+        target: None,
+        coarse_init: false,
+    };
 
     let mut group = c.benchmark_group("subdomain_solver");
     group.sample_size(10);
@@ -74,5 +86,10 @@ fn bench_multigrid(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mfp_iteration, bench_oracle_vs_neural, bench_multigrid);
+criterion_group!(
+    benches,
+    bench_mfp_iteration,
+    bench_oracle_vs_neural,
+    bench_multigrid
+);
 criterion_main!(benches);

@@ -25,16 +25,29 @@ use rand_chacha::ChaCha8Rng;
 
 fn ablate_coarse_init(spec: mf_data::SubdomainSpec) {
     let oracle = OracleSolver::new(spec, 1e-9);
-    let sizes: &[(usize, usize)] =
-        if full_scale() { &[(2, 2), (4, 4), (8, 8), (16, 16)] } else { &[(2, 2), (4, 4), (8, 8)] };
+    let sizes: &[(usize, usize)] = if full_scale() {
+        &[(2, 2), (4, 4), (8, 8), (16, 16)]
+    } else {
+        &[(2, 2), (4, 4), (8, 8)]
+    };
     let mut rows = Vec::new();
     for &(sx, sy) in sizes {
         let domain = DomainSpec::new(spec, sx, sy);
         let bc = gp_boundary(&domain, 5);
         let mfp = Mfp::new(&oracle, domain);
-        let base = MfpConfig { max_iters: 5000, tol: 1e-7, ..Default::default() };
+        let base = MfpConfig {
+            max_iters: 5000,
+            tol: 1e-7,
+            ..Default::default()
+        };
         let plain = mfp.run(&bc, &base);
-        let coarse = mfp.run(&bc, &MfpConfig { coarse_init: true, ..base });
+        let coarse = mfp.run(
+            &bc,
+            &MfpConfig {
+                coarse_init: true,
+                ..base
+            },
+        );
         assert!(plain.converged && coarse.converged);
         rows.push(vec![
             format!("{}x{}", sx, sy),
@@ -46,7 +59,13 @@ fn ablate_coarse_init(spec: mf_data::SubdomainSpec) {
     }
     print_table(
         "Ablation 1: coarse-grid initialization (one-level Schwarz fix)",
-        &["atomic domain", "plain iters", "coarse-init iters", "gain", "solution diff"],
+        &[
+            "atomic domain",
+            "plain iters",
+            "coarse-init iters",
+            "gain",
+            "solution diff",
+        ],
         &rows,
     );
     println!("(the gain grows with domain size: one-level Schwarz propagates boundary");
@@ -84,7 +103,12 @@ fn ablate_comm_avoiding(spec: mf_data::SubdomainSpec) {
     }
     print_table(
         "Ablation 2: communication-avoiding halo exchange (4 ranks)",
-        &["exchange every", "iterations", "total msgs", "total halo bytes"],
+        &[
+            "exchange every",
+            "iterations",
+            "total msgs",
+            "total halo bytes",
+        ],
         &rows,
     );
     println!("(skipping exchanges trades extra iterations for less traffic — the");
@@ -132,13 +156,19 @@ fn ablate_conv_embedding(spec: mf_data::SubdomainSpec) {
         qd: 48,
         qc: 16,
         pde_weight: 0.02,
-        schedule: LrSchedule { max_lr: 8e-3, ..LrSchedule::paper_default(epochs * (train.len() / 8)) },
+        schedule: LrSchedule {
+            max_lr: 8e-3,
+            ..LrSchedule::paper_default(epochs * (train.len() / 8))
+        },
         opt: OptKind::Adam,
         seed: 0,
         clip_norm: None,
     };
     let mut rows = Vec::new();
-    for (label, channels) in [("conv embedding", vec![4]), ("no conv (raw boundary)", vec![])] {
+    for (label, channels) in [
+        ("conv embedding", vec![4]),
+        ("no conv (raw boundary)", vec![]),
+    ] {
         let mut netcfg = bench_net_config(spec);
         netcfg.conv_channels = channels;
         let mut net = SdNet::new(netcfg, &mut ChaCha8Rng::seed_from_u64(0));

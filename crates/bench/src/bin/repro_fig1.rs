@@ -53,7 +53,11 @@ fn main() {
         &domain,
         &bc,
         4,
-        &DistMfpConfig { max_iters: 2000, tol: 1e-8, ..Default::default() },
+        &DistMfpConfig {
+            max_iters: 2000,
+            tol: 1e-8,
+            ..Default::default()
+        },
     );
     let diff_oracle = res_oracle.grid.zip_map(&reference, |a, b| (a - b).abs());
 
@@ -67,7 +71,11 @@ fn main() {
         &domain,
         &bc,
         4,
-        &DistMfpConfig { max_iters: 400, tol: 1e-5, ..Default::default() },
+        &DistMfpConfig {
+            max_iters: 400,
+            tol: 1e-5,
+            ..Default::default()
+        },
     );
     let diff_net = res_net.grid.zip_map(&reference, |a, b| (a - b).abs());
 

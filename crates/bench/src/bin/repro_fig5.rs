@@ -9,7 +9,7 @@
 //! determine the memory ceiling.
 //!
 //! ```text
-//! cargo run -p mf-bench --release --bin repro_fig5 [--full]
+//! cargo run -p mf-bench --release --bin repro_fig5 [--full] [--trace out.json]
 //! ```
 
 use mf_autodiff::Graph;
@@ -20,7 +20,6 @@ use mf_tensor::Tensor;
 use mf_train::local_gradients;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::time::Instant;
 
 /// Points per boundary for a target total batch of points.
 const BOUNDARIES: usize = 8;
@@ -46,24 +45,27 @@ fn time_inference(net: &SdNet, boundaries: &Tensor, q: usize, reps: usize) -> (f
         let _ = net.forward(&mut g, &bound, gb, x, q);
         g.bytes_allocated()
     };
-    let t0 = Instant::now();
-    for _ in 0..reps {
-        let _ = net.predict(boundaries, &pts, q);
-    }
-    (t0.elapsed().as_secs_f64() / reps as f64, bytes)
+    let (_, secs) = mf_telemetry::timed("fig5.inference", || {
+        for _ in 0..reps {
+            let _ = net.predict(boundaries, &pts, q);
+        }
+    });
+    (secs / reps as f64, bytes)
 }
 
 fn time_train_step(net: &SdNet, batch: &Batch, reps: usize) -> (f64, usize) {
     // Bytes of both passes (the paper's memory axis).
     let (_, _, stats) = local_gradients(net, batch, 1.0);
-    let t0 = Instant::now();
-    for _ in 0..reps {
-        let _ = local_gradients(net, batch, 1.0);
-    }
-    (t0.elapsed().as_secs_f64() / reps as f64, stats.graph_bytes)
+    let (_, secs) = mf_telemetry::timed("fig5.train_step", || {
+        for _ in 0..reps {
+            let _ = local_gradients(net, batch, 1.0);
+        }
+    });
+    (secs / reps as f64, stats.graph_bytes)
 }
 
 fn main() {
+    let trace = init_telemetry();
     let spec = bench_spec();
     let (split, concat) = nets(spec);
     let ds = Dataset::generate(spec, BOUNDARIES, 0);
@@ -74,11 +76,18 @@ fn main() {
     };
 
     println!("Figure 5 reproduction: split vs concat embedding throughput");
-    println!("({} boundary conditions per batch; inference = forward only,", BOUNDARIES);
+    println!(
+        "({} boundary conditions per batch; inference = forward only,",
+        BOUNDARIES
+    );
     println!(" training = data pass + PDE double-backward pass)");
 
     let boundaries = Tensor::vstack(
-        &ds.samples.iter().take(BOUNDARIES).map(|s| s.boundary.clone()).collect::<Vec<_>>(),
+        &ds.samples
+            .iter()
+            .take(BOUNDARIES)
+            .map(|s| s.boundary.clone())
+            .collect::<Vec<_>>(),
     );
 
     // Inference sweep.
@@ -99,14 +108,24 @@ fn main() {
     }
     print_table(
         "Fig 5a: inference",
-        &["points", "split pts/s", "concat pts/s", "speedup", "split mem", "concat mem"],
+        &[
+            "points",
+            "split pts/s",
+            "concat pts/s",
+            "speedup",
+            "split mem",
+            "concat mem",
+        ],
         &rows,
     );
 
     // Training sweep (smaller sizes: the autograd graph is the limiter,
     // exactly the paper's point).
-    let train_points: Vec<usize> =
-        batch_points.iter().map(|p| p / 5).filter(|&p| p >= 160).collect();
+    let train_points: Vec<usize> = batch_points
+        .iter()
+        .map(|p| p / 5)
+        .filter(|&p| p >= 160)
+        .collect();
     let mut rows = Vec::new();
     for &pts in &train_points {
         let per_boundary = (pts / BOUNDARIES / 2).max(1);
@@ -129,7 +148,14 @@ fn main() {
     }
     print_table(
         "Fig 5b: training (physics-informed step)",
-        &["points", "split pts/s", "concat pts/s", "speedup", "split mem", "concat mem"],
+        &[
+            "points",
+            "split pts/s",
+            "concat pts/s",
+            "speedup",
+            "split mem",
+            "concat mem",
+        ],
         &rows,
     );
 
@@ -139,4 +165,5 @@ fn main() {
          lets the paper's optimized model reach 50k-point batches while the\n\
          baseline OOMs at 10k."
     );
+    finish_trace(trace);
 }

@@ -10,7 +10,7 @@
 //! alpha-beta model — the same substitution DESIGN.md documents.
 //!
 //! ```text
-//! cargo run -p mf-bench --release --bin repro_fig6 [--full]
+//! cargo run -p mf-bench --release --bin repro_fig6 [--full] [--trace out.json]
 //! ```
 
 use mf_bench::*;
@@ -24,9 +24,14 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
+    let trace = init_telemetry();
     let spec = bench_spec();
     let (samples, epochs) = if full_scale() { (480, 60) } else { (160, 24) };
-    let devices: Vec<usize> = if full_scale() { vec![1, 2, 4, 8, 16] } else { vec![1, 2, 4, 8] };
+    let devices: Vec<usize> = if full_scale() {
+        vec![1, 2, 4, 8, 16]
+    } else {
+        vec![1, 2, 4, 8]
+    };
 
     println!("Figure 6 reproduction: data-parallel SDNet training");
     println!("dataset: {samples} samples, {epochs} epochs, LAMB, sqrt-scaled LR\n");
@@ -58,9 +63,9 @@ fn main() {
     let mut single_modeled_time = f64::NAN;
 
     for &p in &devices {
-        let t0 = std::time::Instant::now();
-        let res = train_ddp(p, &template, &train, &val, &base, GradSync::Fused);
-        let wall = t0.elapsed().as_secs_f64();
+        let (res, wall) = mf_telemetry::timed("fig6.train_ddp", || {
+            train_ddp(p, &template, &train, &val, &base, GradSync::Fused)
+        });
         let final_mse = res.logs.last().unwrap().val_mse;
         // Modeled data-parallel epoch time: the measured serialized wall
         // clock divided over P devices (per-rank work is 1/P of the
@@ -86,7 +91,14 @@ fn main() {
 
     print_table(
         "Fig 6: DDP training across device counts",
-        &["devices", "final val MSE", "delta vs 1 dev", "modeled time", "speedup", "allreduce/rank"],
+        &[
+            "devices",
+            "final val MSE",
+            "delta vs 1 dev",
+            "modeled time",
+            "speedup",
+            "allreduce/rank",
+        ],
         &rows,
     );
 
@@ -97,7 +109,10 @@ fn main() {
     }
     println!();
     let n_epochs = curves[0].1.len();
-    for e in (0..n_epochs).step_by(4).chain(std::iter::once(n_epochs - 1)) {
+    for e in (0..n_epochs)
+        .step_by(4)
+        .chain(std::iter::once(n_epochs - 1))
+    {
         print!("{e:>8}");
         for (_, c) in &curves {
             print!("{:>12.5}", c[e]);
@@ -111,4 +126,5 @@ fn main() {
          modeled time-to-train shrinks with P until the allreduce floor (paper:\n\
          30 min -> 2 min, ~12x on 32 GPUs)."
     );
+    finish_trace(trace);
 }

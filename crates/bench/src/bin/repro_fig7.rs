@@ -26,8 +26,11 @@ fn main() {
     let spec = bench_spec();
     let (samples, epochs) = if full_scale() { (800, 150) } else { (320, 80) };
     let device_counts = [1usize, 2, 4];
-    let domains: Vec<(usize, usize)> =
-        if full_scale() { vec![(1, 1), (2, 1), (2, 2), (4, 2), (4, 4)] } else { vec![(1, 1), (2, 1), (2, 2)] };
+    let domains: Vec<(usize, usize)> = if full_scale() {
+        vec![(1, 1), (2, 1), (2, 2), (4, 2), (4, 4)]
+    } else {
+        vec![(1, 1), (2, 1), (2, 2)]
+    };
 
     println!("Figure 7 reproduction: MFP MAE with models trained on varying device counts");
     println!("boundary: g(t) = sin(2*pi*t) along the domain walk\n");
@@ -78,7 +81,11 @@ fn main() {
             let solver = NeuralSolver::new(net.clone(), spec);
             let res = Mfp::new(&solver, domain).run(
                 &bc,
-                &MfpConfig { max_iters: 200, tol: 1e-5, ..Default::default() },
+                &MfpConfig {
+                    max_iters: 200,
+                    tol: 1e-5,
+                    ..Default::default()
+                },
             );
             row.push(format!("{:.4}", res.grid.mean_abs_diff(&reference)));
         }

@@ -8,7 +8,7 @@
 //! SDNet (batching = one big GEMM vs many small ones).
 //!
 //! ```text
-//! cargo run -p mf-bench --release --bin repro_fig8 [--full]
+//! cargo run -p mf-bench --release --bin repro_fig8 [--full] [--trace out.json]
 //! ```
 
 use mf_bench::*;
@@ -17,9 +17,9 @@ use mf_mfp::{DomainSpec, Mfp, MfpConfig, NeuralSolver, SubdomainSolver};
 use mf_nn::SdNet;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::time::Instant;
 
 fn main() {
+    let trace = init_telemetry();
     let spec = bench_spec();
     // Untrained weights are fine here: Fig 8 measures per-iteration
     // throughput, not accuracy (the batched/unbatched results are
@@ -28,7 +28,16 @@ fn main() {
     let solver = NeuralSolver::new(net, spec);
 
     let domains: Vec<(usize, usize)> = if full_scale() {
-        vec![(1, 2), (2, 2), (4, 2), (4, 4), (8, 4), (8, 8), (16, 8), (16, 16)]
+        vec![
+            (1, 2),
+            (2, 2),
+            (4, 2),
+            (4, 4),
+            (8, 4),
+            (8, 8),
+            (16, 8),
+            (16, 16),
+        ]
     } else {
         vec![(1, 2), (2, 2), (4, 2), (4, 4), (8, 4), (8, 8)]
     };
@@ -42,14 +51,28 @@ fn main() {
         let domain = DomainSpec::new(spec, sx, sy);
         let bc = gp_boundary(&domain, 3);
         let mfp = Mfp::new(&solver, domain);
-        let iters = if domain.subdomains().len() > 200 { 3 } else { 8 };
+        let iters = if domain.subdomains().len() > 200 {
+            3
+        } else {
+            8
+        };
 
         let run = |batched: bool| {
-            let cfg = MfpConfig { max_iters: iters, tol: 0.0, batched, target: None, coarse_init: false };
+            let cfg = MfpConfig {
+                max_iters: iters,
+                tol: 0.0,
+                batched,
+                target: None,
+                coarse_init: false,
+            };
             let (l0, p0) = (solver.launch_count(), solver.inference_count());
-            let t0 = Instant::now();
-            let r = mfp.run(&bc, &cfg);
-            let cpu = t0.elapsed().as_secs_f64() / iters as f64;
+            let name = if batched {
+                "fig8.run_batched"
+            } else {
+                "fig8.run_unbatched"
+            };
+            let (r, secs) = mf_telemetry::timed(name, || mfp.run(&bc, &cfg));
+            let cpu = secs / iters as f64;
             let launches = solver.launch_count() - l0;
             let points = solver.inference_count() - p0;
             let gpu_time = gpu.time(launches, points) / iters as f64;
@@ -75,7 +98,15 @@ fn main() {
     }
     print_table(
         "Fig 8: time per MFP iteration",
-        &["domain", "subdomains", "CPU unbat.", "CPU batch", "GPU unbat.", "GPU batch", "GPU speedup"],
+        &[
+            "domain",
+            "subdomains",
+            "CPU unbat.",
+            "CPU batch",
+            "GPU unbat.",
+            "GPU batch",
+            "GPU speedup",
+        ],
         &rows,
     );
     println!(
@@ -86,4 +117,5 @@ fn main() {
          measured CPU columns show only the graph-building overhead saved by\n\
          batching; results are identical either way (asserted)."
     );
+    finish_trace(trace);
 }

@@ -21,7 +21,11 @@ use mf_mfp::{run_distributed, DistMfpConfig, DomainSpec, MaeTarget, OracleSolver
 fn main() {
     let spec = bench_spec();
     let (sx, sy) = if full_scale() { (16, 16) } else { (8, 8) };
-    let ranks: Vec<usize> = if full_scale() { vec![1, 2, 4, 8, 16, 32] } else { vec![1, 2, 4, 8, 16] };
+    let ranks: Vec<usize> = if full_scale() {
+        vec![1, 2, 4, 8, 16, 32]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
     let domain = DomainSpec::new(spec, sx, sy);
     println!(
         "Figure 9a / Table 4 reproduction: strong scaling on a {}x{} spatial domain",
@@ -54,20 +58,37 @@ fn main() {
             &DistMfpConfig {
                 max_iters: 5000,
                 tol: 0.0,
-                target: Some(MaeTarget { reference: reference.clone(), mae: 0.05, every: 1 }),
+                target: Some(MaeTarget {
+                    reference: reference.clone(),
+                    mae: 0.05,
+                    every: 1,
+                }),
                 ..Default::default()
             },
         );
         assert!(res.converged, "P={p} did not reach MAE 0.05");
         // The slowest rank sets the pace; a rank's busy time is its own
         // work even when all ranks timeshare one core.
-        let compute =
-            res.reports.iter().map(|r| r.compute_seconds).fold(0.0, f64::max);
-        let io = res.reports.iter().map(|r| r.pack_seconds).fold(0.0, f64::max);
-        let comm =
-            res.reports.iter().map(|r| model.time_for(&r.halo)).fold(0.0, f64::max);
-        let comm_mpi4py =
-            res.reports.iter().map(|r| mpi4py.time_for(&r.halo)).fold(0.0, f64::max);
+        let compute = res
+            .reports
+            .iter()
+            .map(|r| r.compute_seconds)
+            .fold(0.0, f64::max);
+        let io = res
+            .reports
+            .iter()
+            .map(|r| r.pack_seconds)
+            .fold(0.0, f64::max);
+        let comm = res
+            .reports
+            .iter()
+            .map(|r| model.time_for(&r.halo))
+            .fold(0.0, f64::max);
+        let comm_mpi4py = res
+            .reports
+            .iter()
+            .map(|r| mpi4py.time_for(&r.halo))
+            .fold(0.0, f64::max);
         let total = compute + io + comm;
         if p == 1 {
             base_total = total;

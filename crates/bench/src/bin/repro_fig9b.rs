@@ -21,7 +21,11 @@ fn main() {
     // Per-rank block of atomic subdomains (paper: 16x8 spatial per GPU).
     let (bx, by) = if full_scale() { (8, 4) } else { (4, 2) };
     let iters = if full_scale() { 200 } else { 50 };
-    let ranks: Vec<usize> = if full_scale() { vec![1, 2, 4, 8, 16, 32] } else { vec![1, 2, 4, 8, 16] };
+    let ranks: Vec<usize> = if full_scale() {
+        vec![1, 2, 4, 8, 16, 32]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
 
     println!("Figure 9b reproduction: weak scaling, {bx}x{by} atomic subdomains per rank,");
     println!("{iters} iterations (paper: 1024x512 per GPU, 2000 iterations)\n");
@@ -41,19 +45,33 @@ fn main() {
             &domain,
             &bc,
             p,
-            &DistMfpConfig { max_iters: iters, tol: 0.0, ..Default::default() },
+            &DistMfpConfig {
+                max_iters: iters,
+                tol: 0.0,
+                ..Default::default()
+            },
         );
-        let compute =
-            res.reports.iter().map(|r| r.compute_seconds).fold(0.0, f64::max);
-        let io = res.reports.iter().map(|r| r.pack_seconds).fold(0.0, f64::max);
-        let comm =
-            res.reports.iter().map(|r| model.time_for(&r.halo)).fold(0.0, f64::max);
-        let comm_ser =
-            res.reports.iter().map(|r| mpi4py.time_for(&r.halo)).fold(0.0, f64::max);
-        let max_neighbors = (0..p)
-            .map(|r| grid.neighbors(r).len())
-            .max()
-            .unwrap_or(0);
+        let compute = res
+            .reports
+            .iter()
+            .map(|r| r.compute_seconds)
+            .fold(0.0, f64::max);
+        let io = res
+            .reports
+            .iter()
+            .map(|r| r.pack_seconds)
+            .fold(0.0, f64::max);
+        let comm = res
+            .reports
+            .iter()
+            .map(|r| model.time_for(&r.halo))
+            .fold(0.0, f64::max);
+        let comm_ser = res
+            .reports
+            .iter()
+            .map(|r| mpi4py.time_for(&r.halo))
+            .fold(0.0, f64::max);
+        let max_neighbors = (0..p).map(|r| grid.neighbors(r).len()).max().unwrap_or(0);
         rows.push(vec![
             p.to_string(),
             format!("{}x{}", domain.nx(), domain.ny()),
@@ -66,7 +84,15 @@ fn main() {
     }
     print_table(
         "Fig 9b: weak scaling (fixed per-rank block)",
-        &["ranks", "global grid", "max nbrs", "compute", "bound. IO", "comm (IB)", "comm (mpi4py)"],
+        &[
+            "ranks",
+            "global grid",
+            "max nbrs",
+            "compute",
+            "bound. IO",
+            "comm (IB)",
+            "comm (mpi4py)",
+        ],
         &rows,
     );
     println!(

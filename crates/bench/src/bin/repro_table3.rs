@@ -21,8 +21,11 @@ use rand_chacha::ChaCha8Rng;
 
 fn main() {
     let spec = bench_spec();
-    let domain_counts: Vec<usize> =
-        if full_scale() { vec![1, 2, 5, 10, 20, 40, 80] } else { vec![1, 2, 5, 10, 20] };
+    let domain_counts: Vec<usize> = if full_scale() {
+        vec![1, 2, 5, 10, 20, 40, 80]
+    } else {
+        vec![1, 2, 5, 10, 20]
+    };
     let max_domains = *domain_counts.last().unwrap();
 
     println!("Table 3 reproduction: autograd memory vs batch domain count");

@@ -22,11 +22,46 @@ pub fn full_scale() -> bool {
     std::env::args().any(|a| a == "--full")
 }
 
+/// Handle the shared `--trace PATH` flag: when present, enable span
+/// tracing and return the output path to hand to [`finish_trace`]. The
+/// `repro_*` binaries time their measured regions with
+/// [`mf_telemetry::timed`], so the printed tables and the exported trace
+/// come from the same spans.
+pub fn init_telemetry() -> Option<String> {
+    let path = std::env::args().skip_while(|a| a != "--trace").nth(1);
+    if path.is_some() {
+        mf_telemetry::set_tracing(true);
+    }
+    path
+}
+
+/// Write the spans recorded since [`init_telemetry`] to `path` — Chrome
+/// `trace_event` JSON by default, JSON Lines when the path ends in
+/// `.jsonl`. No-op when `--trace` was not given.
+pub fn finish_trace(path: Option<String>) {
+    let Some(path) = path else { return };
+    mf_telemetry::flush_thread();
+    let spans = mf_telemetry::drain_spans();
+    let mut body = Vec::new();
+    let written = if path.ends_with(".jsonl") {
+        mf_telemetry::write_jsonl(&spans, &mut body)
+    } else {
+        mf_telemetry::write_chrome_trace(&spans, &mut body)
+    };
+    match written.and_then(|()| std::fs::write(&path, body)) {
+        Ok(()) => eprintln!("wrote {} span(s) to {path}", spans.len()),
+        Err(e) => eprintln!("failed to write trace: {e}"),
+    }
+}
+
 /// The subdomain geometry used by the reproduction runs: 0.5×0.5 spatial,
 /// 9 points per side by default, 17 with `--full` (the paper uses 32).
 pub fn bench_spec() -> SubdomainSpec {
     if full_scale() {
-        SubdomainSpec { m: 17, spatial: 0.5 }
+        SubdomainSpec {
+            m: 17,
+            spatial: 0.5,
+        }
     } else {
         SubdomainSpec { m: 9, spatial: 0.5 }
     }
@@ -36,7 +71,11 @@ pub fn bench_spec() -> SubdomainSpec {
 pub fn bench_net_config(spec: SubdomainSpec) -> SdNetConfig {
     let mut cfg = SdNetConfig::small(spec.boundary_len());
     cfg.conv_channels = vec![4];
-    cfg.hidden = if full_scale() { vec![64, 64, 64] } else { vec![48, 48, 48] };
+    cfg.hidden = if full_scale() {
+        vec![64, 64, 64]
+    } else {
+        vec![48, 48, 48]
+    };
     cfg
 }
 
@@ -54,7 +93,10 @@ pub fn train_sdnet(spec: SubdomainSpec, samples: usize, epochs: usize, seed: u64
         qd: 48,
         qc: 16,
         pde_weight: 0.02,
-        schedule: LrSchedule { max_lr: 8e-3, ..LrSchedule::paper_default(steps) },
+        schedule: LrSchedule {
+            max_lr: 8e-3,
+            ..LrSchedule::paper_default(steps)
+        },
         opt: OptKind::Adam,
         seed,
         clip_norm: None,
@@ -65,16 +107,18 @@ pub fn train_sdnet(spec: SubdomainSpec, samples: usize, epochs: usize, seed: u64
 
 /// A GP-sampled boundary condition for a solve domain.
 pub fn gp_boundary(domain: &DomainSpec, seed: u64) -> Tensor {
-    let mut sampler =
-        BoundarySampler::new(domain.boundary_len(), (0.4, 0.8), (0.5, 1.0), true);
+    let mut sampler = BoundarySampler::new(domain.boundary_len(), (0.4, 0.8), (0.5, 1.0), true);
     sampler.sample(&mut ChaCha8Rng::seed_from_u64(seed))
 }
 
 /// Ground-truth solution of the global BVP via multigrid/SOR.
 pub fn reference_solution(domain: &DomainSpec, bc: &Tensor) -> Tensor {
     let guess = grid_with_boundary(domain.ny(), domain.nx(), bc);
-    let (sol, stats) =
-        solve_dirichlet(&Poisson::laplace(domain.ny(), domain.nx(), domain.h()), &guess, 1e-9);
+    let (sol, stats) = solve_dirichlet(
+        &Poisson::laplace(domain.ny(), domain.nx(), domain.h()),
+        &guess,
+        1e-9,
+    );
     assert!(stats.converged, "reference solve failed: {stats:?}");
     sol
 }

@@ -52,8 +52,16 @@ impl BatchSampler {
     /// per batch (the paper's "#domains"); total points per batch is
     /// `batch_size · (qd + qc)`.
     pub fn new(batch_size: usize, qd: usize, qc: usize, seed: u64) -> Self {
-        assert!(batch_size > 0 && qd > 0 && qc > 0, "BatchSampler: sizes must be positive");
-        Self { batch_size, qd, qc, rng: ChaCha8Rng::seed_from_u64(seed) }
+        assert!(
+            batch_size > 0 && qd > 0 && qc > 0,
+            "BatchSampler: sizes must be positive"
+        );
+        Self {
+            batch_size,
+            qd,
+            qc,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     /// One shuffled epoch over `ds` (last partial batch dropped, as in the
@@ -131,9 +139,7 @@ mod tests {
             let y = b.data_points.get(k, 1);
             let i = (x / spec.h()).round() as usize;
             let j = (y / spec.h()).round() as usize;
-            assert!(
-                (b.data_values.get(k, 0) - ds.samples[2].solution.get(j, i)).abs() < 1e-12
-            );
+            assert!((b.data_values.get(k, 0) - ds.samples[2].solution.get(j, i)).abs() < 1e-12);
         }
     }
 

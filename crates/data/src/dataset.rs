@@ -25,7 +25,10 @@ impl SubdomainSpec {
     /// Paper-like default: 0.5×0.5 subdomain, 17 points per side
     /// (laptop-scale stand-in for the paper's 32).
     pub fn default_small() -> Self {
-        Self { m: 17, spatial: 0.5 }
+        Self {
+            m: 17,
+            spatial: 0.5,
+        }
     }
 
     /// Grid spacing.
@@ -81,17 +84,12 @@ impl Dataset {
         lengthscale_range: (f64, f64),
         variance_range: (f64, f64),
     ) -> Self {
-        let mut sampler = BoundarySampler::new(
-            spec.boundary_len(),
-            lengthscale_range,
-            variance_range,
-            true,
-        );
+        let mut sampler =
+            BoundarySampler::new(spec.boundary_len(), lengthscale_range, variance_range, true);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         // Draw boundaries sequentially (the Sobol sweep is stateful), then
         // solve in parallel.
-        let boundaries: Vec<Tensor> =
-            (0..count).map(|_| sampler.sample(&mut rng)).collect();
+        let boundaries: Vec<Tensor> = (0..count).map(|_| sampler.sample(&mut rng)).collect();
         let samples: Vec<Sample> = boundaries
             .into_par_iter()
             .map(|boundary| {
@@ -122,13 +120,22 @@ impl Dataset {
     /// `frac` of samples; generation order is already Sobol-shuffled in
     /// hyperparameter space).
     pub fn split(self, train_frac: f64) -> (Dataset, Dataset) {
-        assert!((0.0..=1.0).contains(&train_frac), "train_frac must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&train_frac),
+            "train_frac must be in [0,1]"
+        );
         let n_train = (self.samples.len() as f64 * train_frac).round() as usize;
         let mut train = self.samples;
         let val = train.split_off(n_train.min(train.len()));
         (
-            Dataset { spec: self.spec, samples: train },
-            Dataset { spec: self.spec, samples: val },
+            Dataset {
+                spec: self.spec,
+                samples: train,
+            },
+            Dataset {
+                spec: self.spec,
+                samples: val,
+            },
         )
     }
 
@@ -151,7 +158,10 @@ impl Dataset {
 
 /// Stack all boundary rows of a dataset into a `[len × 4(m−1)]` matrix.
 pub(crate) fn stack_boundaries(ds: &Dataset, idx: &[usize]) -> Tensor {
-    let rows: Vec<Tensor> = idx.iter().map(|&i| ds.samples[i].boundary.clone()).collect();
+    let rows: Vec<Tensor> = idx
+        .iter()
+        .map(|&i| ds.samples[i].boundary.clone())
+        .collect();
     Tensor::vstack(&rows)
 }
 
@@ -163,7 +173,10 @@ mod tests {
 
     #[test]
     fn spec_geometry() {
-        let s = SubdomainSpec { m: 17, spatial: 0.5 };
+        let s = SubdomainSpec {
+            m: 17,
+            spatial: 0.5,
+        };
         assert!((s.h() - 0.03125).abs() < 1e-15);
         assert_eq!(s.boundary_len(), 64);
         assert_eq!(s.coords(0, 16), (0.5, 0.0));
@@ -218,6 +231,8 @@ mod tests {
         assert_eq!(total, 7);
         // Strided: rank 0 gets samples 0, 3, 6.
         let s0 = ds.shard(0, world);
-        assert!(s0.samples[1].boundary.allclose(&ds.samples[3].boundary, 0.0));
+        assert!(s0.samples[1]
+            .boundary
+            .allclose(&ds.samples[3].boundary, 0.0));
     }
 }

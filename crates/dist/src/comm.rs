@@ -2,6 +2,7 @@
 //! collective operations.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use mf_telemetry::{counter, gauge, histogram, span, Buckets, Counter, Gauge, Histogram};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
@@ -33,6 +34,50 @@ pub struct CommStats {
     pub comm_seconds: f64,
 }
 
+/// Handles into the `mf-telemetry` registry backing [`CommStats`].
+///
+/// All recording goes through these; [`Communicator::stats`] is a *view*
+/// over the registry (current thread-local values minus the baseline
+/// captured when the rank thread started or at the last
+/// [`Communicator::reset_stats`]).
+#[derive(Clone)]
+struct CommCounters {
+    msgs_sent: Counter,
+    bytes_sent: Counter,
+    msgs_recv: Counter,
+    bytes_recv: Counter,
+    comm_seconds: Gauge,
+    allreduce_bytes: Histogram,
+    allreduce_us: Histogram,
+    exchange_bytes: Histogram,
+}
+
+impl CommCounters {
+    fn new() -> Self {
+        CommCounters {
+            msgs_sent: counter("comm.msgs_sent"),
+            bytes_sent: counter("comm.bytes_sent"),
+            msgs_recv: counter("comm.msgs_recv"),
+            bytes_recv: counter("comm.bytes_recv"),
+            comm_seconds: gauge("comm.comm_seconds"),
+            allreduce_bytes: histogram("comm.allreduce_bytes", Buckets::bytes()),
+            allreduce_us: histogram("comm.allreduce_us", Buckets::latency_us()),
+            exchange_bytes: histogram("comm.exchange_bytes", Buckets::bytes()),
+        }
+    }
+
+    /// Raw registry values for the calling thread.
+    fn raw(&self) -> CommStats {
+        CommStats {
+            msgs_sent: self.msgs_sent.get() as usize,
+            bytes_sent: self.bytes_sent.get() as usize,
+            msgs_recv: self.msgs_recv.get() as usize,
+            bytes_recv: self.bytes_recv.get() as usize,
+            comm_seconds: self.comm_seconds.get(),
+        }
+    }
+}
+
 /// One rank's endpoint of the simulated cluster.
 pub struct Communicator {
     rank: usize,
@@ -41,7 +86,10 @@ pub struct Communicator {
     receiver: Receiver<Message>,
     pending: Vec<Message>,
     barrier: Arc<Barrier>,
-    stats: CommStats,
+    counters: CommCounters,
+    /// Registry values at thread start / last `reset_stats`; `stats()`
+    /// reports the delta since then.
+    baseline: CommStats,
 }
 
 /// Factory for simulated clusters.
@@ -79,17 +127,34 @@ impl Cluster {
                 receiver,
                 pending: Vec::new(),
                 barrier: Arc::clone(&barrier),
-                stats: CommStats::default(),
+                counters: CommCounters::new(),
+                baseline: CommStats::default(),
             })
             .collect();
         drop(senders_per_dst);
 
+        let f = &f;
         std::thread::scope(|scope| {
             let handles: Vec<_> = comms
                 .iter_mut()
-                .map(|comm| scope.spawn(|| f(comm)))
+                .map(|comm| {
+                    scope.spawn(move || {
+                        // Metrics and spans are recorded into thread-local
+                        // buffers; tag them with this rank and capture the
+                        // stats baseline *on the rank thread* (the
+                        // Communicator was built on the spawning thread).
+                        mf_telemetry::set_thread_rank(comm.rank);
+                        comm.baseline = comm.counters.raw();
+                        let out = f(comm);
+                        mf_telemetry::flush_thread();
+                        out
+                    })
+                })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
         })
     }
 }
@@ -105,14 +170,37 @@ impl Communicator {
         self.size
     }
 
-    /// Counters accumulated so far.
+    /// Counters accumulated since the rank thread started (or the last
+    /// [`reset_stats`](Self::reset_stats)). This is a view over the
+    /// `mf-telemetry` registry for the calling thread.
     pub fn stats(&self) -> CommStats {
-        self.stats
+        let raw = self.counters.raw();
+        CommStats {
+            msgs_sent: raw.msgs_sent.saturating_sub(self.baseline.msgs_sent),
+            bytes_sent: raw.bytes_sent.saturating_sub(self.baseline.bytes_sent),
+            msgs_recv: raw.msgs_recv.saturating_sub(self.baseline.msgs_recv),
+            bytes_recv: raw.bytes_recv.saturating_sub(self.baseline.bytes_recv),
+            comm_seconds: (raw.comm_seconds - self.baseline.comm_seconds).max(0.0),
+        }
     }
 
-    /// Reset the counters (e.g. after warmup iterations).
+    /// Reset the counters (e.g. after warmup iterations). The underlying
+    /// telemetry registry is monotone; this only moves the baseline that
+    /// [`stats`](Self::stats) subtracts.
     pub fn reset_stats(&mut self) {
-        self.stats = CommStats::default();
+        self.baseline = self.counters.raw();
+    }
+
+    fn count_sent(&self, bytes: usize, t0: Instant) {
+        self.counters.msgs_sent.incr();
+        self.counters.bytes_sent.add(bytes as u64);
+        self.counters.comm_seconds.add(t0.elapsed().as_secs_f64());
+    }
+
+    fn count_recv(&self, bytes: usize, t0: Instant) {
+        self.counters.msgs_recv.incr();
+        self.counters.bytes_recv.add(bytes as u64);
+        self.counters.comm_seconds.add(t0.elapsed().as_secs_f64());
     }
 
     /// Send `payload` to `dst` with a user tag. Non-blocking (buffered).
@@ -120,11 +208,13 @@ impl Communicator {
         assert!(dst < self.size, "send: destination {dst} out of range");
         let t0 = Instant::now();
         self.senders[dst]
-            .send(Message { src: self.rank, tag, payload: payload.to_vec() })
+            .send(Message {
+                src: self.rank,
+                tag,
+                payload: payload.to_vec(),
+            })
             .expect("send: cluster torn down");
-        self.stats.msgs_sent += 1;
-        self.stats.bytes_sent += payload.len() * 8;
-        self.stats.comm_seconds += t0.elapsed().as_secs_f64();
+        self.count_sent(payload.len() * 8, t0);
     }
 
     /// Blocking receive of the message with the given source and tag.
@@ -133,21 +223,19 @@ impl Communicator {
     pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f64> {
         let t0 = Instant::now();
         // Check the out-of-order buffer first.
-        if let Some(pos) =
-            self.pending.iter().position(|m| m.src == src && m.tag == tag)
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| m.src == src && m.tag == tag)
         {
             let m = self.pending.swap_remove(pos);
-            self.stats.msgs_recv += 1;
-            self.stats.bytes_recv += m.payload.len() * 8;
-            self.stats.comm_seconds += t0.elapsed().as_secs_f64();
+            self.count_recv(m.payload.len() * 8, t0);
             return m.payload;
         }
         loop {
             let m = self.receiver.recv().expect("recv: cluster torn down");
             if m.src == src && m.tag == tag {
-                self.stats.msgs_recv += 1;
-                self.stats.bytes_recv += m.payload.len() * 8;
-                self.stats.comm_seconds += t0.elapsed().as_secs_f64();
+                self.count_recv(m.payload.len() * 8, t0);
                 return m.payload;
             }
             self.pending.push(m);
@@ -158,7 +246,7 @@ impl Communicator {
     pub fn barrier(&mut self) {
         let t0 = Instant::now();
         self.barrier.wait();
-        self.stats.comm_seconds += t0.elapsed().as_secs_f64();
+        self.counters.comm_seconds.add(t0.elapsed().as_secs_f64());
     }
 
     /// Exchange buffers with a set of peers: send to every peer, then
@@ -166,6 +254,13 @@ impl Communicator {
     /// of the distributed MFP (§4.2). Sends complete before any receive
     /// blocks, so the pattern is deadlock-free.
     pub fn exchange(&mut self, outgoing: &[(usize, Vec<f64>)], tag: u64) -> Vec<(usize, Vec<f64>)> {
+        let bytes: usize = outgoing.iter().map(|(_, p)| p.len() * 8).sum();
+        span!(
+            "comm.exchange",
+            peers = outgoing.len() as f64,
+            bytes = bytes as f64
+        );
+        self.counters.exchange_bytes.record(bytes as f64);
         for (dst, payload) in outgoing {
             self.send(*dst, tag, payload);
         }
@@ -175,20 +270,41 @@ impl Communicator {
             .collect()
     }
 
-    /// In-place ring allreduce (sum): reduce-scatter followed by
-    /// allgather, 2(P−1) messages per rank — the bandwidth-optimal
-    /// algorithm used by MPI/NCCL and cited by the paper for gradient
-    /// averaging.
+    /// In-place allreduce (sum).
+    ///
+    /// Large buffers use the ring algorithm (reduce-scatter + allgather,
+    /// 2(P−1) messages per rank) — the bandwidth-optimal choice used by
+    /// MPI/NCCL and cited by the paper for gradient averaging. Buffers of
+    /// at most [`ALLREDUCE_RD_MAX_ELEMS`] elements use latency-optimal
+    /// recursive doubling (⌈log₂P⌉ rounds) instead, matching MPI's
+    /// small-message switch.
     pub fn allreduce_sum(&mut self, buf: &mut [f64]) {
+        let bytes = buf.len() * 8;
+        span!(
+            "comm.allreduce",
+            bytes = bytes as f64,
+            elems = buf.len() as f64
+        );
+        let t0 = Instant::now();
+        if self.size > 1 {
+            if buf.is_empty() {
+                self.barrier();
+            } else if buf.len() <= ALLREDUCE_RD_MAX_ELEMS {
+                self.allreduce_rd(buf);
+            } else {
+                self.allreduce_ring(buf);
+            }
+        }
+        self.counters.allreduce_bytes.record(bytes as f64);
+        self.counters
+            .allreduce_us
+            .record(t0.elapsed().as_secs_f64() * 1e6);
+    }
+
+    /// Ring allreduce: reduce-scatter followed by allgather.
+    fn allreduce_ring(&mut self, buf: &mut [f64]) {
         let p = self.size;
-        if p == 1 {
-            return;
-        }
         let n = buf.len();
-        if n == 0 {
-            self.barrier();
-            return;
-        }
         // Chunk boundaries: chunk c covers [starts[c], starts[c+1]).
         let starts: Vec<usize> = (0..=p).map(|c| c * n / p).collect();
         let right = (self.rank + 1) % p;
@@ -218,6 +334,64 @@ impl Communicator {
         }
     }
 
+    /// Recursive-doubling allreduce with the MPICH fold/unfold scheme for
+    /// non-power-of-two rank counts: the first `2·rem` ranks pair up
+    /// (even sends its buffer to the odd neighbor, which joins the
+    /// power-of-two group), the group runs log₂ pairwise exchange rounds,
+    /// and the result is unfolded back to the idle even ranks.
+    ///
+    /// Pairwise exchanges compute `a + b` on one side and `b + a` on the
+    /// other, so all ranks end bit-identical (IEEE addition commutes).
+    fn allreduce_rd(&mut self, buf: &mut [f64]) {
+        let p = self.size;
+        let pof2 = prev_power_of_two(p);
+        let rem = p - pof2;
+        let me = self.rank;
+        // Fold the surplus ranks into the power-of-two group.
+        let newrank = if me < 2 * rem {
+            if me.is_multiple_of(2) {
+                self.send(me + 1, TAG_RD_FOLD, buf);
+                None
+            } else {
+                let incoming = self.recv(me - 1, TAG_RD_FOLD);
+                for (a, b) in buf.iter_mut().zip(incoming) {
+                    *a += b;
+                }
+                Some(me / 2)
+            }
+        } else {
+            Some(me - rem)
+        };
+        if let Some(nr) = newrank {
+            let mut mask = 1usize;
+            let mut step = 0u64;
+            while mask < pof2 {
+                let partner_new = nr ^ mask;
+                let partner = if partner_new < rem {
+                    partner_new * 2 + 1
+                } else {
+                    partner_new + rem
+                };
+                self.send(partner, tag_rd(step), buf);
+                let incoming = self.recv(partner, tag_rd(step));
+                for (a, b) in buf.iter_mut().zip(incoming) {
+                    *a += b;
+                }
+                mask <<= 1;
+                step += 1;
+            }
+        }
+        // Unfold: hand the finished sum back to the idle even ranks.
+        if me < 2 * rem {
+            if me % 2 == 1 {
+                self.send(me - 1, TAG_RD_UNFOLD, buf);
+            } else {
+                let incoming = self.recv(me + 1, TAG_RD_UNFOLD);
+                buf.copy_from_slice(&incoming);
+            }
+        }
+    }
+
     /// Average `buf` across all ranks (allreduce-sum then divide) — the
     /// gradient synchronization of Algorithm 1.
     pub fn allreduce_mean(&mut self, buf: &mut [f64]) {
@@ -229,7 +403,9 @@ impl Communicator {
     }
 
     /// Gather every rank's buffer on every rank, indexed by rank.
+    /// Per-rank payload lengths may differ (ragged gather).
     pub fn allgather(&mut self, local: &[f64]) -> Vec<Vec<f64>> {
+        span!("comm.allgather", bytes = (local.len() * 8) as f64);
         let mut out = vec![Vec::new(); self.size];
         for dst in 0..self.size {
             if dst != self.rank {
@@ -256,6 +432,7 @@ impl Communicator {
     /// rounds).
     pub fn broadcast(&mut self, root: usize, buf: &mut Vec<f64>) {
         assert!(root < self.size, "broadcast: root {root} out of range");
+        span!("comm.broadcast", bytes = (buf.len() * 8) as f64);
         let p = self.size;
         if p == 1 {
             return;
@@ -315,13 +492,33 @@ impl Communicator {
     }
 }
 
+/// Buffers of at most this many elements take the recursive-doubling
+/// allreduce path; larger buffers use the bandwidth-optimal ring.
+pub const ALLREDUCE_RD_MAX_ELEMS: usize = 8;
+
 const TAG_ALLGATHER: u64 = u64::MAX - 1;
 const TAG_BCAST: u64 = u64::MAX - 2;
 const TAG_REDUCE: u64 = u64::MAX - 3;
+const TAG_RD_FOLD: u64 = u64::MAX - 4;
+const TAG_RD_UNFOLD: u64 = u64::MAX - 5;
 
-/// Internal tags for allreduce steps, kept far from user tags.
+/// Internal tags for ring-allreduce steps, kept far from user tags.
 fn tag_ar(step: usize, gather_phase: bool) -> u64 {
     (u64::MAX - 1024) + step as u64 * 2 + gather_phase as u64
+}
+
+/// Internal tags for recursive-doubling exchange rounds.
+fn tag_rd(step: u64) -> u64 {
+    (u64::MAX - 2048) + step
+}
+
+/// Largest power of two `<= p` (`p >= 1`).
+fn prev_power_of_two(p: usize) -> usize {
+    let mut v = 1usize;
+    while v * 2 <= p {
+        v *= 2;
+    }
+    v
 }
 
 #[cfg(test)]
@@ -383,8 +580,7 @@ mod tests {
                 let inputs: Vec<Vec<f64>> = (0..p)
                     .map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
                     .collect();
-                let expect: Vec<f64> =
-                    (0..n).map(|i| inputs.iter().map(|v| v[i]).sum()).collect();
+                let expect: Vec<f64> = (0..n).map(|i| inputs.iter().map(|v| v[i]).sum()).collect();
                 let inputs_ref = &inputs;
                 let outs = Cluster::run(p, move |c| {
                     let mut buf = inputs_ref[c.rank()].clone();
@@ -393,10 +589,7 @@ mod tests {
                 });
                 for (r, o) in outs.iter().enumerate() {
                     for (a, e) in o.iter().zip(&expect) {
-                        assert!(
-                            (a - e).abs() < 1e-9,
-                            "p={p} n={n} rank {r}: {a} vs {e}"
-                        );
+                        assert!((a - e).abs() < 1e-9, "p={p} n={n} rank {r}: {a} vs {e}");
                     }
                 }
             }
@@ -547,6 +740,128 @@ mod tests {
         });
         for o in outs {
             assert_eq!(o, vec![6.0, 12.0]);
+        }
+    }
+
+    #[test]
+    fn small_allreduce_uses_recursive_doubling() {
+        // p=4 (power of two), n=2 ≤ ALLREDUCE_RD_MAX_ELEMS: exactly
+        // log₂P = 2 rounds, each exchanging the full 16-byte buffer.
+        let outs = Cluster::run(4, |c| {
+            let mut buf = vec![c.rank() as f64, 1.0];
+            c.allreduce_sum(&mut buf);
+            (buf, c.stats())
+        });
+        for (r, (buf, s)) in outs.iter().enumerate() {
+            assert_eq!(buf, &vec![6.0, 4.0], "rank {r}");
+            assert_eq!(s.msgs_sent, 2, "rank {r}");
+            assert_eq!(s.msgs_recv, 2, "rank {r}");
+            assert_eq!(s.bytes_sent, 2 * 16, "rank {r}");
+            assert_eq!(s.bytes_recv, 2 * 16, "rank {r}");
+        }
+        // Recursive doubling is bit-reproducible across ranks.
+        for (buf, _) in &outs[1..] {
+            assert_eq!(buf, &outs[0].0);
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_recursive_doubling_message_counts() {
+        // p=6 → pof2=4, rem=2. Ranks 0 and 2 fold out (1 send, 1 recv);
+        // ranks 1 and 3 absorb a fold, run 2 rounds, then unfold
+        // (3 sends, 3 recvs); ranks 4 and 5 just run the 2 rounds.
+        let outs = Cluster::run(6, |c| {
+            let mut buf = vec![1.0; 2];
+            c.allreduce_sum(&mut buf);
+            (buf, c.stats())
+        });
+        for (r, (buf, s)) in outs.iter().enumerate() {
+            assert_eq!(buf, &vec![6.0; 2], "rank {r}");
+            let expect = match r {
+                0 | 2 => (1, 1),
+                1 | 3 => (3, 3),
+                _ => (2, 2),
+            };
+            assert_eq!((s.msgs_sent, s.msgs_recv), expect, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn stats_view_is_exact_per_primitive() {
+        // Ring allreduce: p=4, n=16 → 6 messages of one 4-element chunk.
+        let outs = Cluster::run(4, |c| {
+            let mut buf = vec![1.0; 16];
+            c.allreduce_sum(&mut buf);
+            c.stats()
+        });
+        for s in outs {
+            assert_eq!(s.msgs_sent, 6);
+            assert_eq!(s.msgs_recv, 6);
+            assert_eq!(s.bytes_sent, 6 * 4 * 8);
+            assert_eq!(s.bytes_recv, 6 * 4 * 8);
+        }
+
+        // Allgather: p=3 → each rank sends its 5-element buffer twice.
+        let outs = Cluster::run(3, |c| {
+            let _ = c.allgather(&[0.0; 5]);
+            c.stats()
+        });
+        for s in outs {
+            assert_eq!((s.msgs_sent, s.bytes_sent), (2, 2 * 5 * 8));
+            assert_eq!((s.msgs_recv, s.bytes_recv), (2, 2 * 5 * 8));
+        }
+
+        // Broadcast: p=5 → p−1 messages in total, one receive per
+        // non-root rank.
+        let outs = Cluster::run(5, |c| {
+            let mut buf = if c.rank() == 0 {
+                vec![1.0; 3]
+            } else {
+                Vec::new()
+            };
+            c.broadcast(0, &mut buf);
+            c.stats()
+        });
+        let total_sent: usize = outs.iter().map(|s| s.msgs_sent).sum();
+        assert_eq!(total_sent, 4);
+        assert_eq!(outs[0].msgs_recv, 0);
+        for s in &outs[1..] {
+            assert_eq!((s.msgs_recv, s.bytes_recv), (1, 3 * 8));
+        }
+
+        // Exchange: two peers swap one 3-element buffer each.
+        let outs = Cluster::run(2, |c| {
+            let peer = 1 - c.rank();
+            let _ = c.exchange(&[(peer, vec![0.0; 3])], 5);
+            c.stats()
+        });
+        for s in outs {
+            assert_eq!(
+                (s.msgs_sent, s.bytes_sent, s.msgs_recv, s.bytes_recv),
+                (1, 24, 1, 24)
+            );
+        }
+    }
+
+    #[test]
+    fn reset_stats_zeroes_the_view() {
+        let outs = Cluster::run(2, |c| {
+            let peer = 1 - c.rank();
+            c.send(peer, 1, &[0.0; 4]);
+            let _ = c.recv(peer, 1);
+            let before = c.stats();
+            c.reset_stats();
+            let zeroed = c.stats();
+            c.send(peer, 2, &[0.0; 2]);
+            let _ = c.recv(peer, 2);
+            (before, zeroed, c.stats())
+        });
+        for (before, zeroed, after) in outs {
+            assert_eq!((before.msgs_sent, before.bytes_sent), (1, 32));
+            assert_eq!((before.msgs_recv, before.bytes_recv), (1, 32));
+            assert_eq!(zeroed, CommStats::default());
+            assert_eq!((after.msgs_sent, after.bytes_sent), (1, 16));
+            assert_eq!((after.msgs_recv, after.bytes_recv), (1, 16));
         }
     }
 }

@@ -29,8 +29,10 @@ mod comm;
 mod perfmodel;
 #[cfg(test)]
 mod stress_tests;
+mod telemetry;
 mod topology;
 
-pub use comm::{Cluster, CommStats, Communicator};
+pub use comm::{Cluster, CommStats, Communicator, ALLREDUCE_RD_MAX_ELEMS};
 pub use perfmodel::{thread_cpu_time, GpuModel, PerfModel};
+pub use telemetry::{gather_rank_metrics, print_merged_report};
 pub use topology::{CartesianGrid, Direction, RankOrder};

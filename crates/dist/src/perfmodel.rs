@@ -23,31 +23,46 @@ impl PerfModel {
     /// ConnectX-5 InfiniBand (100 Gbit/s) inter-node fabric used by all
     /// three clusters in Table 2, with MPI-level small-message latency.
     pub fn infiniband_100g() -> Self {
-        Self { alpha: 2.0e-6, beta: 12.5e9 }
+        Self {
+            alpha: 2.0e-6,
+            beta: 12.5e9,
+        }
     }
 
     /// V100 nodes: PCIe intra-node staging (32 GB/s) raises the effective
     /// latency for GPU buffers.
     pub fn v100_pcie() -> Self {
-        Self { alpha: 6.0e-6, beta: 12.5e9 }
+        Self {
+            alpha: 6.0e-6,
+            beta: 12.5e9,
+        }
     }
 
     /// A30 nodes with NVLink (200 GB/s intra-node); inter-node still
     /// 100 Gbit/s InfiniBand — this is the platform of the paper's headline
     /// scaling runs.
     pub fn a30_cluster() -> Self {
-        Self { alpha: 2.5e-6, beta: 12.5e9 }
+        Self {
+            alpha: 2.5e-6,
+            beta: 12.5e9,
+        }
     }
 
     /// A100 nodes with 600 GB/s NVLink.
     pub fn a100_nvlink() -> Self {
-        Self { alpha: 2.0e-6, beta: 25.0e9 }
+        Self {
+            alpha: 2.0e-6,
+            beta: 25.0e9,
+        }
     }
 
     /// The mpi4py path the paper actually measured serializes tensors
     /// before sending; model that as a higher per-message latency.
     pub fn mpi4py_serialized() -> Self {
-        Self { alpha: 5.0e-5, beta: 10.0e9 }
+        Self {
+            alpha: 5.0e-5,
+            beta: 10.0e9,
+        }
     }
 
     /// Modeled time for a message count and byte volume.
@@ -91,7 +106,11 @@ pub struct GpuModel {
 impl GpuModel {
     /// A30-like inference behaviour for a small MLP.
     pub fn a30_like() -> Self {
-        Self { launch_overhead: 3.0e-5, peak_points_per_sec: 5.0e7, saturation_points: 8192 }
+        Self {
+            launch_overhead: 3.0e-5,
+            peak_points_per_sec: 5.0e7,
+            saturation_points: 8192,
+        }
     }
 
     /// Occupancy fraction for a launch of `q` points.
@@ -122,9 +141,23 @@ impl GpuModel {
 /// spent descheduled — essential when many simulated ranks timeshare a
 /// single core and each must report only its *own* work.
 pub fn thread_cpu_time() -> f64 {
-    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
+    // Direct libc call (declared here so the workspace needs no `libc`
+    // crate; the C library is linked by std anyway).
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+    extern "C" {
+        fn clock_gettime(clk_id: i32, tp: *mut Timespec) -> i32;
+    }
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+    let mut ts = Timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
     // SAFETY: ts is a valid, writable timespec; the clock id is a constant.
-    let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
     assert_eq!(rc, 0, "clock_gettime(CLOCK_THREAD_CPUTIME_ID) failed");
     ts.tv_sec as f64 + ts.tv_nsec as f64 * 1e-9
 }
@@ -172,7 +205,10 @@ mod tests {
 
     #[test]
     fn time_is_linear_in_messages_and_bytes() {
-        let m = PerfModel { alpha: 1e-6, beta: 1e9 };
+        let m = PerfModel {
+            alpha: 1e-6,
+            beta: 1e9,
+        };
         assert!((m.time(10, 0) - 1e-5).abs() < 1e-18);
         assert!((m.time(0, 1_000_000) - 1e-3).abs() < 1e-12);
         assert!((m.time(10, 1_000_000) - (1e-5 + 1e-3)).abs() < 1e-12);
@@ -209,8 +245,15 @@ mod tests {
 
     #[test]
     fn time_for_uses_sent_counters() {
-        let m = PerfModel { alpha: 1.0, beta: 8.0 };
-        let stats = CommStats { msgs_sent: 2, bytes_sent: 16, ..Default::default() };
+        let m = PerfModel {
+            alpha: 1.0,
+            beta: 8.0,
+        };
+        let stats = CommStats {
+            msgs_sent: 2,
+            bytes_sent: 16,
+            ..Default::default()
+        };
         assert!((m.time_for(&stats) - 4.0).abs() < 1e-12);
     }
 }

@@ -1,0 +1,77 @@
+//! Distributed metric aggregation: gather every rank's `mf-telemetry`
+//! snapshot over the [`Communicator`] so a run emits one merged report.
+//!
+//! Snapshots are serialized to the registry's text format, the bytes are
+//! packed into `f64` bit patterns (the only payload type the simulated
+//! cluster carries), and exchanged with a ragged
+//! [`allgather`](Communicator::allgather). No arithmetic ever touches the
+//! packed words, so arbitrary bit patterns (including NaNs) survive.
+
+use crate::Communicator;
+use mf_telemetry::{render_report, snapshot, MetricsSnapshot};
+
+/// Pack raw bytes into `f64` bit patterns, length-prefixed.
+fn pack_bytes(bytes: &[u8]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(1 + bytes.len().div_ceil(8));
+    out.push(f64::from_bits(bytes.len() as u64));
+    for chunk in bytes.chunks(8) {
+        let mut b = [0u8; 8];
+        b[..chunk.len()].copy_from_slice(chunk);
+        out.push(f64::from_bits(u64::from_le_bytes(b)));
+    }
+    out
+}
+
+/// Invert [`pack_bytes`].
+fn unpack_bytes(words: &[f64]) -> Vec<u8> {
+    let len = words[0].to_bits() as usize;
+    let mut out = Vec::with_capacity(len);
+    for w in &words[1..] {
+        out.extend_from_slice(&w.to_bits().to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+/// Gather the calling thread's metrics snapshot from every rank; the
+/// result is indexed by rank and identical on all ranks.
+///
+/// The gather itself sends messages, but those are counted *after* the
+/// snapshot is taken, so the report excludes its own traffic.
+pub fn gather_rank_metrics(comm: &mut Communicator) -> Vec<MetricsSnapshot> {
+    let text = snapshot().serialize();
+    let packed = pack_bytes(text.as_bytes());
+    comm.allgather(&packed)
+        .iter()
+        .map(|words| {
+            let bytes = unpack_bytes(words);
+            let text = String::from_utf8(bytes).expect("snapshot: invalid utf-8");
+            MetricsSnapshot::parse(&text).expect("snapshot: unparseable")
+        })
+        .collect()
+}
+
+/// Gather all ranks' metrics and print the merged report to stderr on
+/// rank 0. Call at the end of a distributed region, on every rank.
+pub fn print_merged_report(comm: &mut Communicator) {
+    let per_rank = gather_rank_metrics(comm);
+    if comm.rank() == 0 {
+        eprint!("{}", render_report(&per_rank));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_round_trip_through_f64_packing() {
+        for len in [0usize, 1, 7, 8, 9, 64, 1000] {
+            let bytes: Vec<u8> = (0..len).map(|i| (i * 37 % 251) as u8).collect();
+            assert_eq!(unpack_bytes(&pack_bytes(&bytes)), bytes, "len {len}");
+        }
+        // Bit patterns that would be NaN as floats survive untouched.
+        let nan_bytes = f64::NAN.to_bits().to_le_bytes().to_vec();
+        assert_eq!(unpack_bytes(&pack_bytes(&nan_bytes)), nan_bytes);
+    }
+}

@@ -126,7 +126,12 @@ impl CartesianGrid {
         for (rank, &(row, col)) in coords_of_rank.iter().enumerate() {
             rank_of_cell[row * px + col] = rank;
         }
-        Self { py, px, rank_of_cell, coords_of_rank }
+        Self {
+            py,
+            px,
+            rank_of_cell,
+            coords_of_rank,
+        }
     }
 
     /// Nearly square factorization of `p` ranks (√P×√P when P is a
@@ -162,7 +167,10 @@ impl CartesianGrid {
 
     /// Rank at a grid cell.
     pub fn rank_at(&self, row: usize, col: usize) -> usize {
-        assert!(row < self.py && col < self.px, "rank_at: ({row},{col}) out of grid");
+        assert!(
+            row < self.py && col < self.px,
+            "rank_at: ({row},{col}) out of grid"
+        );
         self.rank_of_cell[row * self.px + col]
     }
 
@@ -267,8 +275,7 @@ mod tests {
     fn morton_first_quad_stays_local() {
         // On a 4x4 grid, Z-order visits the 2x2 sub-block first.
         let g = CartesianGrid::new(4, 4, RankOrder::Morton);
-        let first4: std::collections::HashSet<_> =
-            (0..4).map(|r| g.coords_of(r)).collect();
+        let first4: std::collections::HashSet<_> = (0..4).map(|r| g.coords_of(r)).collect();
         let expect: std::collections::HashSet<_> =
             [(0, 0), (0, 1), (1, 0), (1, 1)].into_iter().collect();
         assert_eq!(first4, expect);

@@ -1,0 +1,119 @@
+//! Integration of `mf-telemetry` with the simulated cluster: span
+//! nesting/ordering under `Cluster::run`, per-rank metric aggregation, and
+//! trace-exporter round-trips over real collective traffic.
+
+use mf_dist::{gather_rank_metrics, Cluster};
+use mf_telemetry::{
+    drain_spans, parse_chrome_trace, parse_jsonl, span, write_chrome_trace, write_jsonl,
+};
+use std::sync::Mutex;
+
+/// The tracing flag and the span collector are global; serialize the
+/// tests that use them.
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn spans_nest_and_order_per_rank_under_cluster_run() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    mf_telemetry::clear_spans();
+    mf_telemetry::set_tracing(true);
+    Cluster::run(3, |c| {
+        span!("itest.outer", rank = c.rank() as f64);
+        for i in 0..2 {
+            span!("itest.inner", i = i as f64);
+            let mut buf = vec![c.rank() as f64; 4];
+            c.allreduce_sum(&mut buf);
+        }
+    });
+    mf_telemetry::set_tracing(false);
+    let spans: Vec<_> = drain_spans()
+        .into_iter()
+        .filter(|s| s.name.starts_with("itest.") || s.name == "comm.allreduce")
+        .collect();
+
+    for rank in 0..3 {
+        let mine: Vec<_> = spans.iter().filter(|s| s.rank == rank).collect();
+        let outer: Vec<_> = mine.iter().filter(|s| s.name == "itest.outer").collect();
+        let inner: Vec<_> = mine.iter().filter(|s| s.name == "itest.inner").collect();
+        let ar: Vec<_> = mine.iter().filter(|s| s.name == "comm.allreduce").collect();
+        assert_eq!(outer.len(), 1, "rank {rank}");
+        assert_eq!(inner.len(), 2, "rank {rank}");
+        assert_eq!(ar.len(), 2, "rank {rank}");
+        // Depths reflect lexical nesting: outer(0) > inner(1) > allreduce(2).
+        assert_eq!(outer[0].depth, 0);
+        assert!(inner.iter().all(|s| s.depth == 1));
+        assert!(ar.iter().all(|s| s.depth == 2));
+        // Parents contain their children in time.
+        let oend = outer[0].start_us + outer[0].dur_us;
+        for s in inner.iter().chain(ar.iter()) {
+            assert!(s.start_us >= outer[0].start_us, "rank {rank}");
+            assert!(s.start_us + s.dur_us <= oend, "rank {rank}");
+        }
+        // drain_spans sorts by start time within a rank.
+        for w in mine.windows(2) {
+            assert!(w[0].start_us <= w[1].start_us, "rank {rank}");
+        }
+        // Span args carried the rank through.
+        assert_eq!(outer[0].args, vec![("rank".to_string(), rank as f64)]);
+    }
+
+    // The full trace survives both exporters byte-exactly.
+    let mut jsonl = Vec::new();
+    write_jsonl(&spans, &mut jsonl).unwrap();
+    assert_eq!(
+        parse_jsonl(&String::from_utf8(jsonl).unwrap()).unwrap(),
+        spans
+    );
+    let mut chrome = Vec::new();
+    write_chrome_trace(&spans, &mut chrome).unwrap();
+    assert_eq!(
+        parse_chrome_trace(&String::from_utf8(chrome).unwrap()).unwrap(),
+        spans
+    );
+}
+
+#[test]
+fn gather_rank_metrics_merges_per_rank_snapshots() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    let outs = Cluster::run(4, |c| {
+        // Distinct per-rank traffic: rank r sends r point-to-point
+        // messages of 1 element to rank 0.
+        if c.rank() > 0 {
+            for i in 0..c.rank() {
+                c.send(0, 77 + i as u64, &[1.0]);
+            }
+        } else {
+            for src in 1..c.size() {
+                for i in 0..src {
+                    let _ = c.recv(src, 77 + i as u64);
+                }
+            }
+        }
+        c.barrier();
+        let per_rank = gather_rank_metrics(c);
+        (c.stats(), per_rank)
+    });
+
+    // Every rank saw the same gathered vector.
+    let (_, per_rank0) = &outs[0];
+    assert_eq!(per_rank0.len(), 4);
+    for (_, per_rank) in &outs[1..] {
+        for (a, b) in per_rank.iter().zip(per_rank0) {
+            assert_eq!(a.serialize(), b.serialize());
+        }
+    }
+    // Snapshot counters match each rank's own CommStats view of the
+    // pre-gather traffic (the gather's messages are excluded because the
+    // snapshot is taken first).
+    for (rank, (stats, _)) in outs.iter().enumerate() {
+        let snap = &per_rank0[rank];
+        assert!(snap.counter("comm.msgs_sent") >= stats.msgs_sent as u64 - 3);
+        if rank > 0 {
+            assert_eq!(snap.counter("comm.msgs_sent"), rank as u64);
+            assert_eq!(snap.counter("comm.bytes_sent"), rank as u64 * 8);
+        } else {
+            assert_eq!(snap.counter("comm.msgs_recv"), 6);
+            assert_eq!(snap.counter("comm.bytes_recv"), 48);
+        }
+    }
+}

@@ -41,7 +41,11 @@ pub fn cholesky(a: &Tensor) -> Result<Tensor, CholeskyError> {
                 if attempt == 7 {
                     return Err(CholeskyError { pivot: p, jitter });
                 }
-                jitter = if jitter == 0.0 { base_jitter } else { jitter * 10.0 };
+                jitter = if jitter == 0.0 {
+                    base_jitter
+                } else {
+                    jitter * 10.0
+                };
             }
         }
     }

@@ -32,11 +32,17 @@ impl Kernel1d {
     /// Evaluate `k(s, t)`.
     pub fn eval(&self, s: f64, t: f64) -> f64 {
         match *self {
-            Kernel1d::Rbf { lengthscale, variance } => {
+            Kernel1d::Rbf {
+                lengthscale,
+                variance,
+            } => {
                 let d = s - t;
                 variance * (-d * d / (2.0 * lengthscale * lengthscale)).exp()
             }
-            Kernel1d::Periodic { lengthscale, variance } => {
+            Kernel1d::Periodic {
+                lengthscale,
+                variance,
+            } => {
                 let d = (std::f64::consts::PI * (s - t)).sin();
                 variance * (-2.0 * d * d / (lengthscale * lengthscale)).exp()
             }
@@ -73,8 +79,14 @@ mod tests {
     #[test]
     fn diagonal_equals_variance() {
         for k in [
-            Kernel1d::Rbf { lengthscale: 0.3, variance: 1.7 },
-            Kernel1d::Periodic { lengthscale: 0.5, variance: 0.9 },
+            Kernel1d::Rbf {
+                lengthscale: 0.3,
+                variance: 1.7,
+            },
+            Kernel1d::Periodic {
+                lengthscale: 0.5,
+                variance: 0.9,
+            },
         ] {
             assert!((k.eval(0.42, 0.42) - k.variance()).abs() < 1e-12);
         }
@@ -84,8 +96,14 @@ mod tests {
     fn kernel_matrix_is_symmetric_and_psd() {
         let pts: Vec<f64> = (0..24).map(|i| i as f64 / 24.0).collect();
         for k in [
-            Kernel1d::Rbf { lengthscale: 0.2, variance: 1.0 },
-            Kernel1d::Periodic { lengthscale: 0.7, variance: 1.0 },
+            Kernel1d::Rbf {
+                lengthscale: 0.2,
+                variance: 1.0,
+            },
+            Kernel1d::Periodic {
+                lengthscale: 0.7,
+                variance: 1.0,
+            },
         ] {
             let m = kernel_matrix(&k, &pts);
             assert!(m.allclose(&m.transpose(), 1e-14));
@@ -95,14 +113,20 @@ mod tests {
 
     #[test]
     fn correlation_decays_with_distance() {
-        let k = Kernel1d::Rbf { lengthscale: 0.1, variance: 1.0 };
+        let k = Kernel1d::Rbf {
+            lengthscale: 0.1,
+            variance: 1.0,
+        };
         assert!(k.eval(0.0, 0.05) > k.eval(0.0, 0.2));
         assert!(k.eval(0.0, 0.5) < 1e-5);
     }
 
     #[test]
     fn periodic_kernel_wraps() {
-        let k = Kernel1d::Periodic { lengthscale: 0.5, variance: 1.0 };
+        let k = Kernel1d::Periodic {
+            lengthscale: 0.5,
+            variance: 1.0,
+        };
         // t=0.01 and t=0.99 are close on the circle.
         assert!((k.eval(0.0, 0.99) - k.eval(0.0, 0.01)).abs() < 1e-12);
         assert!(k.eval(0.0, 0.99) > k.eval(0.0, 0.5));
@@ -110,8 +134,14 @@ mod tests {
 
     #[test]
     fn shorter_lengthscale_gives_rougher_correlation() {
-        let tight = Kernel1d::Rbf { lengthscale: 0.05, variance: 1.0 };
-        let loose = Kernel1d::Rbf { lengthscale: 0.5, variance: 1.0 };
+        let tight = Kernel1d::Rbf {
+            lengthscale: 0.05,
+            variance: 1.0,
+        };
+        let loose = Kernel1d::Rbf {
+            lengthscale: 0.5,
+            variance: 1.0,
+        };
         assert!(tight.eval(0.0, 0.1) < loose.eval(0.0, 0.1));
     }
 }

@@ -24,7 +24,10 @@ impl GpSampler {
     pub fn new(kernel: &Kernel1d, points: &[f64]) -> Self {
         let k = kernel_matrix(kernel, points);
         let chol = cholesky(&k).expect("GP kernel matrix must be PSD");
-        Self { points: points.to_vec(), chol }
+        Self {
+            points: points.to_vec(),
+            chol,
+        }
     }
 
     /// Number of discretization points.
@@ -70,7 +73,13 @@ impl BoundarySampler {
         assert!(n_points >= 2, "BoundarySampler: need at least 2 points");
         assert!(lengthscale_range.0 > 0.0, "lengthscale must be positive");
         let points = (0..n_points).map(|i| i as f64 / n_points as f64).collect();
-        Self { sobol: Sobol::new(2), lengthscale_range, variance_range, periodic, points }
+        Self {
+            sobol: Sobol::new(2),
+            lengthscale_range,
+            variance_range,
+            periodic,
+            points,
+        }
     }
 
     /// Defaults tuned like the paper's data generator: smooth-to-moderate
@@ -84,11 +93,19 @@ impl BoundarySampler {
     /// Hyperparameters advance along the Sobol sequence; the curve itself
     /// is drawn with `rng`.
     pub fn sample(&mut self, rng: &mut impl Rng) -> Tensor {
-        let hp = self.sobol.next_in_ranges(&[self.lengthscale_range, self.variance_range]);
+        let hp = self
+            .sobol
+            .next_in_ranges(&[self.lengthscale_range, self.variance_range]);
         let kernel = if self.periodic {
-            Kernel1d::Periodic { lengthscale: hp[0], variance: hp[1] }
+            Kernel1d::Periodic {
+                lengthscale: hp[0],
+                variance: hp[1],
+            }
         } else {
-            Kernel1d::Rbf { lengthscale: hp[0], variance: hp[1] }
+            Kernel1d::Rbf {
+                lengthscale: hp[0],
+                variance: hp[1],
+            }
         };
         GpSampler::new(&kernel, &self.points).sample(rng)
     }
@@ -122,7 +139,13 @@ mod tests {
     fn gp_sample_has_kernel_marginal_variance() {
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         let pts: Vec<f64> = (0..16).map(|i| i as f64 / 16.0).collect();
-        let sampler = GpSampler::new(&Kernel1d::Rbf { lengthscale: 0.2, variance: 2.0 }, &pts);
+        let sampler = GpSampler::new(
+            &Kernel1d::Rbf {
+                lengthscale: 0.2,
+                variance: 2.0,
+            },
+            &pts,
+        );
         let trials = 3000;
         let mut acc = 0.0;
         for _ in 0..trials {
@@ -139,8 +162,13 @@ mod tests {
         // the mean squared increment is far below 2·variance.
         let mut rng = ChaCha8Rng::seed_from_u64(13);
         let pts: Vec<f64> = (0..64).map(|i| i as f64 / 64.0).collect();
-        let sampler =
-            GpSampler::new(&Kernel1d::Periodic { lengthscale: 0.6, variance: 1.0 }, &pts);
+        let sampler = GpSampler::new(
+            &Kernel1d::Periodic {
+                lengthscale: 0.6,
+                variance: 1.0,
+            },
+            &pts,
+        );
         let mut incr = 0.0;
         let trials = 200;
         for _ in 0..trials {
@@ -153,7 +181,10 @@ mod tests {
                 / (v.len() - 1) as f64;
         }
         incr /= trials as f64;
-        assert!(incr < 0.05, "mean squared increment {incr} too large for a smooth GP");
+        assert!(
+            incr < 0.05,
+            "mean squared increment {incr} too large for a smooth GP"
+        );
     }
 
     #[test]

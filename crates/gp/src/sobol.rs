@@ -71,7 +71,12 @@ impl Sobol {
             directions.push(v);
         }
 
-        Self { dim, index: 0, state: vec![0; dim], directions }
+        Self {
+            dim,
+            index: 0,
+            state: vec![0; dim],
+            directions,
+        }
     }
 
     /// Dimensionality of the sequence.
@@ -83,8 +88,11 @@ impl Sobol {
     pub fn next_point(&mut self) -> Vec<f64> {
         // Emit the current state (point `index`), then advance with the
         // Gray-code step: x_{n+1} = x_n ⊕ v[ctz(n+1)].
-        let out: Vec<f64> =
-            self.state.iter().map(|&s| s as f64 / (1u64 << 32) as f64).collect();
+        let out: Vec<f64> = self
+            .state
+            .iter()
+            .map(|&s| s as f64 / (1u64 << 32) as f64)
+            .collect();
         self.index += 1;
         let c = (self.index.trailing_zeros() as usize).min(BITS - 1);
         for d in 0..self.dim {
@@ -95,7 +103,11 @@ impl Sobol {
 
     /// The next point, affinely mapped into per-dimension ranges.
     pub fn next_in_ranges(&mut self, ranges: &[(f64, f64)]) -> Vec<f64> {
-        assert_eq!(ranges.len(), self.dim, "next_in_ranges: range count mismatch");
+        assert_eq!(
+            ranges.len(),
+            self.dim,
+            "next_in_ranges: range count mismatch"
+        );
         self.next_point()
             .into_iter()
             .zip(ranges)

@@ -13,10 +13,11 @@
 use crate::domain::{DomainSpec, Subdomain};
 use crate::seq::MaeTarget;
 use crate::solver::SubdomainSolver;
+use mf_dist::thread_cpu_time;
 use mf_dist::{CartesianGrid, Cluster, CommStats, Direction, RankOrder};
 use mf_numerics::boundary::apply_boundary;
+use mf_telemetry::{histogram, span, Buckets};
 use mf_tensor::Tensor;
-use mf_dist::thread_cpu_time;
 
 /// Controls for [`run_distributed`].
 #[derive(Clone, Debug)]
@@ -101,52 +102,57 @@ type Region = (std::ops::Range<usize>, std::ops::Range<usize>);
 
 impl<'a> Partition<'a> {
     fn new(domain: &'a DomainSpec, ranks: usize, order: RankOrder) -> Self {
-        let grid = CartesianGrid::square_for(ranks, order);
-        assert_eq!(
-            domain.sx % grid.px(),
-            0,
-            "distributed MFP: {} atomic subdomains along x not divisible by {} processor columns",
-            domain.sx,
-            grid.px()
-        );
-        assert_eq!(
-            domain.sy % grid.py(),
-            0,
-            "distributed MFP: {} atomic subdomains along y not divisible by {} processor rows",
-            domain.sy,
-            grid.py()
-        );
-        Self { domain, grid }
+        Self {
+            domain,
+            grid: CartesianGrid::square_for(ranks, order),
+        }
     }
 
-    /// Owned grid points of a rank: half-open `(rows, cols)`; edge ranks
-    /// absorb the final global row/column.
+    /// Owned grid points of a rank: half-open `(rows, cols)`.
+    ///
+    /// Atomic subdomains are split near-evenly over the processor grid
+    /// (boundaries at `⌊c·s/p⌋` subdomains, i.e. always on atom edges, so
+    /// atoms never straddle ranks). When there are fewer atom rows or
+    /// columns than processor rows or columns, the surplus ranks simply
+    /// own an empty region — they exchange zero-length halos and
+    /// contribute nothing to the gather. Edge ranks absorb the final
+    /// global row/column.
     fn owned(&self, rank: usize) -> Region {
         let (prow, pcol) = self.grid.coords_of(rank);
         let step = self.domain.sub.m - 1;
-        let wx = self.domain.sx / self.grid.px() * step;
-        let wy = self.domain.sy / self.grid.py() * step;
-        let c0 = pcol * wx;
-        let c1 = if pcol + 1 == self.grid.px() { self.domain.nx() } else { (pcol + 1) * wx };
-        let r0 = prow * wy;
-        let r1 = if prow + 1 == self.grid.py() { self.domain.ny() } else { (prow + 1) * wy };
+        let (px, py) = (self.grid.px(), self.grid.py());
+        let c0 = pcol * self.domain.sx / px * step;
+        let c1 = if pcol + 1 == px {
+            self.domain.nx()
+        } else {
+            (pcol + 1) * self.domain.sx / px * step
+        };
+        let r0 = prow * self.domain.sy / py * step;
+        let r1 = if prow + 1 == py {
+            self.domain.ny()
+        } else {
+            (prow + 1) * self.domain.sy / py * step
+        };
         (r0..r1, c0..c1)
     }
 
     /// The band of `rank`'s owned points adjacent to its border in
     /// direction `dir`, of half-subdomain width — the halo data its
-    /// neighbor in that direction needs.
+    /// neighbor in that direction needs. Clamped to the owned region, so
+    /// narrow or empty blocks produce correspondingly narrow (or empty)
+    /// bands; sender and receiver both evaluate this for the *owning*
+    /// rank, so the two sides always agree on the size.
     fn band(&self, rank: usize, dir: Direction) -> Region {
         let s = self.domain.shift();
         let (rows, cols) = self.owned(rank);
         let rows = match dir.offset().0 {
-            1 => rows.end - s..rows.end,
-            -1 => rows.start..rows.start + s,
+            1 => rows.end.saturating_sub(s).max(rows.start)..rows.end,
+            -1 => rows.start..(rows.start + s).min(rows.end),
             _ => rows,
         };
         let cols = match dir.offset().1 {
-            1 => cols.end - s..cols.end,
-            -1 => cols.start..cols.start + s,
+            1 => cols.end.saturating_sub(s).max(cols.start)..cols.end,
+            -1 => cols.start..(cols.start + s).min(cols.end),
             _ => cols,
         };
         (rows, cols)
@@ -282,7 +288,11 @@ pub fn run_distributed_shifted<S: SubdomainSolver>(
         domain.sub,
         "run_distributed: solver and domain geometry differ"
     );
-    assert_eq!(bc.numel(), domain.boundary_len(), "run_distributed: bad boundary length");
+    assert_eq!(
+        bc.numel(),
+        domain.boundary_len(),
+        "run_distributed: bad boundary length"
+    );
     let part = Partition::new(domain, ranks, cfg.order);
     let part = &part;
 
@@ -321,7 +331,15 @@ pub fn run_distributed_shifted<S: SubdomainSolver>(
         let mut converged = false;
         let mut iterations = 0;
 
+        let h_residual = histogram("mfp.residual", Buckets::exponential(1e-9, 10.0, 12));
+        let h_halo = histogram("mfp.halo_bytes", Buckets::bytes());
+
         for it in 0..cfg.max_iters {
+            span!(
+                "mfp.iteration",
+                it = it as f64,
+                owned = owned_subdomains as f64
+            );
             let prev = u.clone();
 
             // Local sweeps with immediate updates (within-rank semantics
@@ -345,8 +363,7 @@ pub fn run_distributed_shifted<S: SubdomainSolver>(
                             .collect::<Vec<_>>(),
                     )
                 });
-                let preds =
-                    solver.solve_batch_shifted(sigma, &boundaries, fw.as_ref(), &cross_pts);
+                let preds = solver.solve_batch_shifted(sigma, &boundaries, fw.as_ref(), &cross_pts);
                 let q = cross.len();
                 for (bi, &sd) in group.iter().enumerate() {
                     for (k, &(j, i)) in cross.iter().enumerate() {
@@ -366,6 +383,7 @@ pub fn run_distributed_shifted<S: SubdomainSolver>(
                     .map(|&(dir, nbr)| (nbr, part.pack(&u, &part.band(rank, dir))))
                     .collect();
                 pack_seconds += thread_cpu_time() - t1;
+                h_halo.record(outgoing.iter().map(|(_, p)| p.len() * 8).sum::<usize>() as f64);
                 let incoming = comm.exchange(&outgoing, it as u64);
                 let t2 = thread_cpu_time();
                 for ((dir, nbr), (peer, data)) in neighbors.iter().zip(incoming) {
@@ -385,6 +403,7 @@ pub fn run_distributed_shifted<S: SubdomainSolver>(
                 ];
                 comm.allreduce_sum(&mut nums);
                 let delta = (nums[0] / nums[1].max(f64::MIN_POSITIVE)).sqrt();
+                h_residual.record(delta);
                 deltas.push(delta);
                 if delta < cfg.tol {
                     converged = true;
@@ -429,11 +448,13 @@ pub fn run_distributed_shifted<S: SubdomainSolver>(
             );
             let fw = forcing.map(|f| {
                 Tensor::vstack(
-                    &atoms.iter().map(|&sd| domain.read_window_field(f, sd)).collect::<Vec<_>>(),
+                    &atoms
+                        .iter()
+                        .map(|&sd| domain.read_window_field(f, sd))
+                        .collect::<Vec<_>>(),
                 )
             });
-            let preds =
-                solver.solve_batch_shifted(sigma, &boundaries, fw.as_ref(), &interior_pts);
+            let preds = solver.solve_batch_shifted(sigma, &boundaries, fw.as_ref(), &interior_pts);
             let q = interior.len();
             for (bi, &sd) in atoms.iter().enumerate() {
                 for (k, &(j, i)) in interior.iter().enumerate() {
@@ -465,13 +486,23 @@ pub fn run_distributed_shifted<S: SubdomainSolver>(
             halo: halo_stats,
             owned_subdomains,
         };
+        if mf_telemetry::metrics_report_enabled() {
+            mf_dist::print_merged_report(comm);
+        }
         (global, iterations, converged, deltas, mae_history, report)
     });
 
     let reports: Vec<RankReport> = per_rank.iter().map(|r| r.5).collect();
     let (grid, iterations, converged, deltas, mae_history, _) =
         per_rank.into_iter().next().unwrap();
-    DistMfpResult { grid, iterations, converged, deltas, mae_history, reports }
+    DistMfpResult {
+        grid,
+        iterations,
+        converged,
+        deltas,
+        mae_history,
+        reports,
+    }
 }
 
 #[cfg(test)]
@@ -493,7 +524,10 @@ mod tests {
         Tensor::from_vec(
             1,
             coords.len(),
-            coords.iter().map(|&(j, i)| f(i as f64 * h, j as f64 * h)).collect(),
+            coords
+                .iter()
+                .map(|&(j, i)| f(i as f64 * h, j as f64 * h))
+                .collect(),
         )
     }
 
@@ -504,14 +538,24 @@ mod tests {
         let bc = harmonic_bc(&d);
         let seq = Mfp::new(&oracle, d).run(
             &bc,
-            &MfpConfig { max_iters: 20, tol: 0.0, batched: true, target: None, coarse_init: false },
+            &MfpConfig {
+                max_iters: 20,
+                tol: 0.0,
+                batched: true,
+                target: None,
+                coarse_init: false,
+            },
         );
         let dist = run_distributed(
             &oracle,
             &d,
             &bc,
             1,
-            &DistMfpConfig { max_iters: 20, tol: 0.0, ..Default::default() },
+            &DistMfpConfig {
+                max_iters: 20,
+                tol: 0.0,
+                ..Default::default()
+            },
         );
         assert_eq!(dist.iterations, 20);
         assert!(
@@ -528,7 +572,13 @@ mod tests {
         let bc = harmonic_bc(&d);
         let seq = Mfp::new(&oracle, d).run(
             &bc,
-            &MfpConfig { max_iters: 400, tol: 1e-9, batched: true, target: None, coarse_init: false },
+            &MfpConfig {
+                max_iters: 400,
+                tol: 1e-9,
+                batched: true,
+                target: None,
+                coarse_init: false,
+            },
         );
         assert!(seq.converged);
         let dist = run_distributed(
@@ -536,7 +586,11 @@ mod tests {
             &d,
             &bc,
             4,
-            &DistMfpConfig { max_iters: 400, tol: 1e-9, ..Default::default() },
+            &DistMfpConfig {
+                max_iters: 400,
+                tol: 1e-9,
+                ..Default::default()
+            },
         );
         assert!(dist.converged, "distributed run did not converge");
         let diff = dist.grid.mean_abs_diff(&seq.grid);
@@ -556,7 +610,11 @@ mod tests {
                 &d,
                 &bc,
                 p,
-                &DistMfpConfig { max_iters: 500, tol: 1e-8, ..Default::default() },
+                &DistMfpConfig {
+                    max_iters: 500,
+                    tol: 1e-8,
+                    ..Default::default()
+                },
             )
         };
         let r1 = run(1);
@@ -581,20 +639,33 @@ mod tests {
             &d,
             &bc,
             4,
-            &DistMfpConfig { max_iters: 600, tol: 1e-8, comm_every: 1, ..Default::default() },
+            &DistMfpConfig {
+                max_iters: 600,
+                tol: 1e-8,
+                comm_every: 1,
+                ..Default::default()
+            },
         );
         let every4 = run_distributed(
             &oracle,
             &d,
             &bc,
             4,
-            &DistMfpConfig { max_iters: 600, tol: 1e-8, comm_every: 4, ..Default::default() },
+            &DistMfpConfig {
+                max_iters: 600,
+                tol: 1e-8,
+                comm_every: 4,
+                ..Default::default()
+            },
         );
         assert!(every1.converged && every4.converged);
         // Same solution; fewer halo messages, possibly more iterations.
         assert!(every1.grid.mean_abs_diff(&every4.grid) < 1e-4);
         let bytes = |r: &DistMfpResult| {
-            r.reports.iter().map(|rep| rep.comm.bytes_sent).sum::<usize>()
+            r.reports
+                .iter()
+                .map(|rep| rep.comm.bytes_sent)
+                .sum::<usize>()
         };
         // Halo payloads dominate byte volume; skipping 3 of 4 exchanges
         // must cut it even if convergence takes more iterations.
@@ -616,14 +687,24 @@ mod tests {
             &d,
             &bc,
             4,
-            &DistMfpConfig { max_iters: 300, tol: 1e-8, order: RankOrder::RowMajor, ..Default::default() },
+            &DistMfpConfig {
+                max_iters: 300,
+                tol: 1e-8,
+                order: RankOrder::RowMajor,
+                ..Default::default()
+            },
         );
         let b = run_distributed(
             &oracle,
             &d,
             &bc,
             4,
-            &DistMfpConfig { max_iters: 300, tol: 1e-8, order: RankOrder::Morton, ..Default::default() },
+            &DistMfpConfig {
+                max_iters: 300,
+                tol: 1e-8,
+                order: RankOrder::Morton,
+                ..Default::default()
+            },
         );
         assert!(a.converged && b.converged);
         assert!(a.grid.mean_abs_diff(&b.grid) < 1e-6);
@@ -644,7 +725,11 @@ mod tests {
             &bc,
             sigma,
             Some(&forcing),
-            &MfpConfig { max_iters: 300, tol: 1e-9, ..Default::default() },
+            &MfpConfig {
+                max_iters: 300,
+                tol: 1e-9,
+                ..Default::default()
+            },
         );
         assert!(seq.converged);
         let dist = crate::dist::run_distributed_shifted(
@@ -654,11 +739,86 @@ mod tests {
             sigma,
             Some(&forcing),
             4,
-            &DistMfpConfig { max_iters: 300, tol: 1e-9, ..Default::default() },
+            &DistMfpConfig {
+                max_iters: 300,
+                tol: 1e-9,
+                ..Default::default()
+            },
         );
         assert!(dist.converged);
         let mae = dist.grid.mean_abs_diff(&seq.grid);
         assert!(mae < 1e-6, "distributed vs sequential shifted MAE {mae}");
+    }
+
+    #[test]
+    fn domain_smaller_than_processor_grid_still_works() {
+        // 2x1 atoms over a 2x2 processor grid: one processor row owns an
+        // empty region and exchanges zero-length halos.
+        let d = DomainSpec::new(spec(), 2, 1);
+        let oracle = OracleSolver::new(spec(), 1e-10);
+        let bc = harmonic_bc(&d);
+        let seq = Mfp::new(&oracle, d).run(
+            &bc,
+            &MfpConfig {
+                max_iters: 400,
+                tol: 1e-9,
+                batched: true,
+                target: None,
+                coarse_init: false,
+            },
+        );
+        assert!(seq.converged);
+        let dist = run_distributed(
+            &oracle,
+            &d,
+            &bc,
+            4,
+            &DistMfpConfig {
+                max_iters: 400,
+                tol: 1e-9,
+                ..Default::default()
+            },
+        );
+        assert!(dist.converged, "2x1 over 4 ranks did not converge");
+        let diff = dist.grid.mean_abs_diff(&seq.grid);
+        assert!(diff < 1e-5, "distributed vs sequential MAE {diff}");
+        let total: usize = dist.reports.iter().map(|r| r.owned_subdomains).sum();
+        assert_eq!(total, d.subdomains().len());
+    }
+
+    #[test]
+    fn uneven_atom_split_converges() {
+        // 3x3 atoms over a 2x2 processor grid: near-even 1/2 splits.
+        let d = DomainSpec::new(spec(), 3, 3);
+        let oracle = OracleSolver::new(spec(), 1e-10);
+        let bc = harmonic_bc(&d);
+        let seq = Mfp::new(&oracle, d).run(
+            &bc,
+            &MfpConfig {
+                max_iters: 600,
+                tol: 1e-8,
+                batched: true,
+                target: None,
+                coarse_init: false,
+            },
+        );
+        assert!(seq.converged);
+        let dist = run_distributed(
+            &oracle,
+            &d,
+            &bc,
+            4,
+            &DistMfpConfig {
+                max_iters: 600,
+                tol: 1e-8,
+                ..Default::default()
+            },
+        );
+        assert!(dist.converged, "3x3 over 4 ranks did not converge");
+        let diff = dist.grid.mean_abs_diff(&seq.grid);
+        assert!(diff < 1e-5, "distributed vs sequential MAE {diff}");
+        let total: usize = dist.reports.iter().map(|r| r.owned_subdomains).sum();
+        assert_eq!(total, d.subdomains().len());
     }
 
     #[test]
@@ -671,7 +831,11 @@ mod tests {
             &d,
             &bc,
             4,
-            &DistMfpConfig { max_iters: 3, tol: 0.0, ..Default::default() },
+            &DistMfpConfig {
+                max_iters: 3,
+                tol: 0.0,
+                ..Default::default()
+            },
         );
         let total: usize = r.reports.iter().map(|rep| rep.owned_subdomains).sum();
         assert_eq!(total, d.subdomains().len());

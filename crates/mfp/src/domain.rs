@@ -33,8 +33,14 @@ pub struct Subdomain {
 impl DomainSpec {
     /// Construct and validate (odd `m`, at least one atomic subdomain).
     pub fn new(sub: SubdomainSpec, sx: usize, sy: usize) -> Self {
-        assert!(sub.m >= 5 && sub.m % 2 == 1, "DomainSpec: m must be odd and >= 5");
-        assert!(sx >= 1 && sy >= 1, "DomainSpec: need at least one atomic subdomain");
+        assert!(
+            sub.m >= 5 && sub.m % 2 == 1,
+            "DomainSpec: m must be odd and >= 5"
+        );
+        assert!(
+            sx >= 1 && sy >= 1,
+            "DomainSpec: need at least one atomic subdomain"
+        );
         Self { sub, sx, sy }
     }
 
@@ -77,7 +83,10 @@ impl DomainSpec {
         let mut out = Vec::with_capacity((2 * self.sx - 1) * (2 * self.sy - 1));
         for gy in 0..(2 * self.sy - 1) {
             for gx in 0..(2 * self.sx - 1) {
-                out.push(Subdomain { ox: gx * s, oy: gy * s });
+                out.push(Subdomain {
+                    ox: gx * s,
+                    oy: gy * s,
+                });
             }
         }
         out
@@ -89,7 +98,10 @@ impl DomainSpec {
         let mut out = Vec::with_capacity(self.sx * self.sy);
         for gy in 0..self.sy {
             for gx in 0..self.sx {
-                out.push(Subdomain { ox: gx * step, oy: gy * step });
+                out.push(Subdomain {
+                    ox: gx * step,
+                    oy: gy * step,
+                });
             }
         }
         out
@@ -111,7 +123,10 @@ impl DomainSpec {
         Tensor::from_vec(
             1,
             coords.len(),
-            coords.iter().map(|&(j, i)| grid.get(sd.oy + j, sd.ox + i)).collect(),
+            coords
+                .iter()
+                .map(|&(j, i)| grid.get(sd.oy + j, sd.ox + i))
+                .collect(),
         )
     }
 
@@ -298,7 +313,7 @@ mod tests {
         assert_eq!(d.atomic_subdomains().len(), 6);
         // All windows fit inside the grid.
         for sd in d.subdomains() {
-            assert!(sd.ox + d.sub.m <= d.nx() + 0);
+            assert!(sd.ox + d.sub.m <= d.nx());
             assert!(sd.oy + d.sub.m <= d.ny());
         }
     }
@@ -339,7 +354,7 @@ mod tests {
         // All on the center lines.
         for &(j, i) in &cc {
             assert!(j == 4 || i == 4);
-            assert!(j >= 1 && j <= 7 && i >= 1 && i <= 7);
+            assert!((1..=7).contains(&j) && (1..=7).contains(&i));
         }
         // No duplicates.
         let set: std::collections::HashSet<_> = cc.iter().collect();

@@ -35,7 +35,9 @@ mod lattice_proptests;
 mod seq;
 mod solver;
 
-pub use dist::{run_distributed, run_distributed_shifted, DistMfpConfig, DistMfpResult, RankReport};
+pub use dist::{
+    run_distributed, run_distributed_shifted, DistMfpConfig, DistMfpResult, RankReport,
+};
 pub use domain::{DomainSpec, Subdomain};
 pub use seq::{MaeTarget, Mfp, MfpConfig, MfpResult};
 pub use solver::{NeuralSolver, OracleSolver, SubdomainSolver};

@@ -4,6 +4,7 @@
 use crate::domain::{DomainSpec, Subdomain};
 use crate::solver::SubdomainSolver;
 use mf_numerics::boundary::apply_boundary;
+use mf_telemetry::{histogram, span, Buckets};
 use mf_tensor::Tensor;
 
 /// Early-stop criterion based on a reference solution (used by the
@@ -40,7 +41,13 @@ pub struct MfpConfig {
 
 impl Default for MfpConfig {
     fn default() -> Self {
-        Self { max_iters: 1000, tol: 1e-4, batched: true, target: None, coarse_init: false }
+        Self {
+            max_iters: 1000,
+            tol: 1e-4,
+            batched: true,
+            target: None,
+            coarse_init: false,
+        }
     }
 }
 
@@ -102,7 +109,11 @@ impl<'a, S: SubdomainSolver> Mfp<'a, S> {
     ) -> MfpResult {
         let d = &self.domain;
         if let Some(f) = forcing {
-            assert_eq!(f.shape(), (d.ny(), d.nx()), "run_shifted: forcing shape mismatch");
+            assert_eq!(
+                f.shape(),
+                (d.ny(), d.nx()),
+                "run_shifted: forcing shape mismatch"
+            );
         }
         assert_eq!(
             bc.numel(),
@@ -124,10 +135,21 @@ impl<'a, S: SubdomainSolver> Mfp<'a, S> {
         let mut converged = false;
         let mut iterations = 0;
 
+        let h_residual = histogram("mfp.residual", Buckets::exponential(1e-9, 10.0, 12));
+
         for it in 0..cfg.max_iters {
+            span!("mfp.iteration", it = it as f64);
             let prev = grid.clone();
             for group in &groups {
-                self.sweep_group(&mut grid, group, &cross, &cross_pts, cfg.batched, sigma, forcing);
+                self.sweep_group(
+                    &mut grid,
+                    group,
+                    &cross,
+                    &cross_pts,
+                    cfg.batched,
+                    sigma,
+                    forcing,
+                );
             }
             iterations = it + 1;
 
@@ -136,6 +158,7 @@ impl<'a, S: SubdomainSolver> Mfp<'a, S> {
                 let den = d.lattice_sumsq(&prev).max(f64::MIN_POSITIVE);
                 (num / den).sqrt()
             };
+            h_residual.record(delta);
             deltas.push(delta);
             if cfg.tol > 0.0 && delta < cfg.tol {
                 converged = true;
@@ -154,7 +177,13 @@ impl<'a, S: SubdomainSolver> Mfp<'a, S> {
         }
 
         self.dense_fill_shifted(&mut grid, sigma, forcing);
-        MfpResult { grid, iterations, converged, deltas, mae_history }
+        MfpResult {
+            grid,
+            iterations,
+            converged,
+            deltas,
+            mae_history,
+        }
     }
 
     /// The four non-overlapping sweep groups, in a fixed alternating
@@ -202,8 +231,9 @@ impl<'a, S: SubdomainSolver> Mfp<'a, S> {
                     .collect::<Vec<_>>(),
             );
             let fw = window_forcings(group);
-            let preds =
-                self.solver.solve_batch_shifted(sigma, &boundaries, fw.as_ref(), cross_pts);
+            let preds = self
+                .solver
+                .solve_batch_shifted(sigma, &boundaries, fw.as_ref(), cross_pts);
             let q = cross.len();
             for (bi, &sd) in group.iter().enumerate() {
                 for (k, &(j, i)) in cross.iter().enumerate() {
@@ -215,7 +245,8 @@ impl<'a, S: SubdomainSolver> Mfp<'a, S> {
                 let boundary = self.domain.read_window_boundary(grid, sd);
                 let fw = window_forcings(&[sd]);
                 let preds =
-                    self.solver.solve_batch_shifted(sigma, &boundary, fw.as_ref(), cross_pts);
+                    self.solver
+                        .solve_batch_shifted(sigma, &boundary, fw.as_ref(), cross_pts);
                 for (k, &(j, i)) in cross.iter().enumerate() {
                     grid.set(sd.oy + j, sd.ox + i, preds.get(k, 0));
                 }
@@ -243,10 +274,15 @@ impl<'a, S: SubdomainSolver> Mfp<'a, S> {
         );
         let fw = forcing.map(|f| {
             Tensor::vstack(
-                &atoms.iter().map(|&sd| d.read_window_field(f, sd)).collect::<Vec<_>>(),
+                &atoms
+                    .iter()
+                    .map(|&sd| d.read_window_field(f, sd))
+                    .collect::<Vec<_>>(),
             )
         });
-        let preds = self.solver.solve_batch_shifted(sigma, &boundaries, fw.as_ref(), &pts);
+        let preds = self
+            .solver
+            .solve_batch_shifted(sigma, &boundaries, fw.as_ref(), &pts);
         let q = interior.len();
         for (bi, &sd) in atoms.iter().enumerate() {
             for (k, &(j, i)) in interior.iter().enumerate() {
@@ -288,8 +324,7 @@ mod tests {
     /// Reference via a single global numerical solve.
     fn reference(d: &DomainSpec, bc: &Tensor) -> Tensor {
         let guess = grid_with_boundary(d.ny(), d.nx(), bc);
-        let (sol, stats) =
-            solve_dirichlet(&Poisson::laplace(d.ny(), d.nx(), d.h()), &guess, 1e-9);
+        let (sol, stats) = solve_dirichlet(&Poisson::laplace(d.ny(), d.nx(), d.h()), &guess, 1e-9);
         assert!(stats.converged);
         sol
     }
@@ -300,8 +335,19 @@ mod tests {
         let oracle = OracleSolver::new(spec(), 1e-10);
         let mfp = Mfp::new(&oracle, d);
         let (bc, exact) = harmonic_bc(&d);
-        let res = mfp.run(&bc, &MfpConfig { max_iters: 3, tol: 1e-10, ..Default::default() });
-        assert!(res.grid.max_abs_diff(&exact) < 1e-5, "err {}", res.grid.max_abs_diff(&exact));
+        let res = mfp.run(
+            &bc,
+            &MfpConfig {
+                max_iters: 3,
+                tol: 1e-10,
+                ..Default::default()
+            },
+        );
+        assert!(
+            res.grid.max_abs_diff(&exact) < 1e-5,
+            "err {}",
+            res.grid.max_abs_diff(&exact)
+        );
     }
 
     #[test]
@@ -313,9 +359,19 @@ mod tests {
         let refsol = reference(&d, &bc);
         let res = mfp.run(
             &bc,
-            &MfpConfig { max_iters: 200, tol: 1e-8, batched: true, target: None, coarse_init: false },
+            &MfpConfig {
+                max_iters: 200,
+                tol: 1e-8,
+                batched: true,
+                target: None,
+                coarse_init: false,
+            },
         );
-        assert!(res.converged, "did not converge in {} iters", res.iterations);
+        assert!(
+            res.converged,
+            "did not converge in {} iters",
+            res.iterations
+        );
         let mae = res.grid.mean_abs_diff(&refsol);
         assert!(mae < 1e-4, "MAE vs global solve: {mae}");
     }
@@ -326,8 +382,17 @@ mod tests {
         let oracle = OracleSolver::new(spec(), 1e-10);
         let mfp = Mfp::new(&oracle, d);
         let (bc, _) = harmonic_bc(&d);
-        let cfg_b = MfpConfig { max_iters: 5, tol: 0.0, batched: true, target: None, coarse_init: false };
-        let cfg_u = MfpConfig { batched: false, ..cfg_b.clone() };
+        let cfg_b = MfpConfig {
+            max_iters: 5,
+            tol: 0.0,
+            batched: true,
+            target: None,
+            coarse_init: false,
+        };
+        let cfg_u = MfpConfig {
+            batched: false,
+            ..cfg_b.clone()
+        };
         let rb = mfp.run(&bc, &cfg_b);
         let ru = mfp.run(&bc, &cfg_u);
         assert_eq!(rb.iterations, ru.iterations);
@@ -344,12 +409,22 @@ mod tests {
         let oracle = OracleSolver::new(spec(), 1e-10);
         let mfp = Mfp::new(&oracle, d);
         let (bc, _) = harmonic_bc(&d);
-        let res = mfp.run(&bc, &MfpConfig { max_iters: 30, tol: 0.0, ..Default::default() });
+        let res = mfp.run(
+            &bc,
+            &MfpConfig {
+                max_iters: 30,
+                tol: 0.0,
+                ..Default::default()
+            },
+        );
         assert_eq!(res.deltas.len(), 30);
         // Schwarz for Laplace contracts: late deltas well below early ones.
         let early = res.deltas[1];
         let late = *res.deltas.last().unwrap();
-        assert!(late < early * 0.1, "deltas did not contract: {early} -> {late}");
+        assert!(
+            late < early * 0.1,
+            "deltas did not contract: {early} -> {late}"
+        );
     }
 
     #[test]
@@ -358,7 +433,14 @@ mod tests {
         let oracle = OracleSolver::new(spec(), 1e-9);
         let mfp = Mfp::new(&oracle, d);
         let (bc, _) = harmonic_bc(&d);
-        let res = mfp.run(&bc, &MfpConfig { max_iters: 3, tol: 0.0, ..Default::default() });
+        let res = mfp.run(
+            &bc,
+            &MfpConfig {
+                max_iters: 3,
+                tol: 0.0,
+                ..Default::default()
+            },
+        );
         let out_bc = mf_numerics::boundary::extract_boundary(&res.grid);
         assert!(out_bc.allclose(&bc, 1e-12));
     }
@@ -380,7 +462,10 @@ mod tests {
         let bc = Tensor::zeros(1, d.boundary_len());
 
         // Global reference with the same discretization.
-        let problem = mf_numerics::Poisson { f: forcing.clone(), h: d.h() };
+        let problem = mf_numerics::Poisson {
+            f: forcing.clone(),
+            h: d.h(),
+        };
         let guess = Tensor::zeros(d.ny(), d.nx());
         let (reference, st) = solve_shifted_sor(&problem, sigma, &guess, 1.5, 100_000, 1e-10);
         assert!(st.converged);
@@ -391,7 +476,11 @@ mod tests {
             &bc,
             sigma,
             Some(&forcing),
-            &MfpConfig { max_iters: 300, tol: 1e-9, ..Default::default() },
+            &MfpConfig {
+                max_iters: 300,
+                tol: 1e-9,
+                ..Default::default()
+            },
         );
         assert!(res.converged, "shifted MFP did not converge");
         let mae = res.grid.mean_abs_diff(&reference);
@@ -409,7 +498,11 @@ mod tests {
         let oracle = OracleSolver::new(spec(), 1e-10);
         let mfp = Mfp::new(&oracle, d);
         let (bc, _) = harmonic_bc(&d);
-        let cfg = MfpConfig { max_iters: 2000, tol: 1e-7, ..Default::default() };
+        let cfg = MfpConfig {
+            max_iters: 2000,
+            tol: 1e-7,
+            ..Default::default()
+        };
         let laplace = mfp.run(&bc, &cfg);
         let zero_forcing = Tensor::zeros(d.ny(), d.nx());
         let shifted = mfp.run_shifted(&bc, 200.0, Some(&zero_forcing), &cfg);
@@ -433,11 +526,20 @@ mod tests {
         let (bc, _) = harmonic_bc(&d);
         let plain = mfp.run(
             &bc,
-            &MfpConfig { max_iters: 2000, tol: 1e-7, ..Default::default() },
+            &MfpConfig {
+                max_iters: 2000,
+                tol: 1e-7,
+                ..Default::default()
+            },
         );
         let coarse = mfp.run(
             &bc,
-            &MfpConfig { max_iters: 2000, tol: 1e-7, coarse_init: true, ..Default::default() },
+            &MfpConfig {
+                max_iters: 2000,
+                tol: 1e-7,
+                coarse_init: true,
+                ..Default::default()
+            },
         );
         assert!(plain.converged && coarse.converged);
         assert!(
@@ -464,7 +566,10 @@ mod tests {
         let bc = Tensor::from_vec(
             1,
             coords.len(),
-            coords.iter().map(|&(j, i)| f(i as f64 * h, j as f64 * h)).collect(),
+            coords
+                .iter()
+                .map(|&(j, i)| f(i as f64 * h, j as f64 * h))
+                .collect(),
         );
         let mut grid = Tensor::zeros(d.ny(), d.nx());
         apply_boundary(&mut grid, &bc);
@@ -496,7 +601,11 @@ mod tests {
                 max_iters: 500,
                 tol: 0.0,
                 batched: true,
-                target: Some(MaeTarget { reference: refsol, mae: 0.05, every: 1 }),
+                target: Some(MaeTarget {
+                    reference: refsol,
+                    mae: 0.05,
+                    every: 1,
+                }),
                 coarse_init: false,
             },
         );

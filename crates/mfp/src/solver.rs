@@ -91,8 +91,10 @@ impl SubdomainSolver for NeuralSolver {
             tiled.extend_from_slice(points.as_slice());
         }
         let tiled = Tensor::from_vec(b * q, 2, tiled);
-        self.count.fetch_add(b * q, std::sync::atomic::Ordering::Relaxed);
-        self.launches.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.count
+            .fetch_add(b * q, std::sync::atomic::Ordering::Relaxed);
+        self.launches
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.net.predict(boundaries, &tiled, q)
     }
 
@@ -163,8 +165,10 @@ impl SubdomainSolver for OracleSolver {
                 out.set(bi * q + k, 0, sol.get(j, i));
             }
         }
-        self.count.fetch_add(b * q, std::sync::atomic::Ordering::Relaxed);
-        self.launches.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.count
+            .fetch_add(b * q, std::sync::atomic::Ordering::Relaxed);
+        self.launches
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         out
     }
 
@@ -218,8 +222,10 @@ impl SubdomainSolver for OracleSolver {
                 out.set(bi * q + k, 0, sol.get(j, i));
             }
         }
-        self.count.fetch_add(b * q, std::sync::atomic::Ordering::Relaxed);
-        self.launches.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.count
+            .fetch_add(b * q, std::sync::atomic::Ordering::Relaxed);
+        self.launches
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         out
     }
 }

@@ -37,13 +37,25 @@ impl CircularConv1d {
         kernel: usize,
         bias: bool,
     ) -> Self {
-        assert!(kernel % 2 == 1, "CircularConv1d: kernel must be odd, got {kernel}");
+        assert!(
+            kernel % 2 == 1,
+            "CircularConv1d: kernel must be odd, got {kernel}"
+        );
         let fan_in = in_ch * kernel;
         let bound = xavier_bound(fan_in, out_ch);
         // Filter matrix [out_ch × k·in_ch], matching the unfold layout.
-        let w = ps.add(format!("{name}.w"), uniform_init(rng, out_ch, fan_in, bound));
+        let w = ps.add(
+            format!("{name}.w"),
+            uniform_init(rng, out_ch, fan_in, bound),
+        );
         let b = bias.then(|| ps.add(format!("{name}.b"), Tensor::zeros(1, out_ch)));
-        Self { w, b, in_ch, out_ch, kernel }
+        Self {
+            w,
+            b,
+            in_ch,
+            out_ch,
+            kernel,
+        }
     }
 
     /// Input channel count.
@@ -139,8 +151,7 @@ mod tests {
         let conv = CircularConv1d::new(&mut ps, &mut rng, "c", 1, 2, 5, true);
         let signal: Vec<f64> = (0..12).map(|i| ((i as f64) * 0.7).sin()).collect();
         let shift = 3usize;
-        let shifted: Vec<f64> =
-            (0..12).map(|i| signal[(i + 12 - shift) % 12]).collect();
+        let shifted: Vec<f64> = (0..12).map(|i| signal[(i + 12 - shift) % 12]).collect();
 
         let run = |sig: &[f64]| {
             let mut g = Graph::new();

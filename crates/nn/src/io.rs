@@ -122,8 +122,11 @@ impl SdNet {
         for _ in 0..n_hidden {
             hidden.push(read_u64(r)? as usize);
         }
-        let embedding =
-            if read_u64(r)? == 1 { EmbeddingKind::Concat } else { EmbeddingKind::Split };
+        let embedding = if read_u64(r)? == 1 {
+            EmbeddingKind::Concat
+        } else {
+            EmbeddingKind::Split
+        };
         let activation = match read_u64(r)? {
             0 => Activation::Gelu,
             1 => Activation::Tanh,
@@ -150,7 +153,9 @@ impl SdNet {
 
         let n_params = read_u64(r)? as usize;
         if n_params != net.params.len() {
-            return Err(bad("parameter count does not match the stored architecture"));
+            return Err(bad(
+                "parameter count does not match the stored architecture",
+            ));
         }
         // Overwrite each parameter after validating identity.
         let expected: Vec<(String, (usize, usize))> = net
@@ -169,8 +174,7 @@ impl SdNet {
             for v in &mut data {
                 *v = read_f64(r)?;
             }
-            *net.params.get_mut(crate::params::ParamId(i)) =
-                Tensor::from_vec(rows, cols, data);
+            *net.params.get_mut(crate::params::ParamId(i)) = Tensor::from_vec(rows, cols, data);
         }
         Ok(net)
     }

@@ -36,9 +36,17 @@ impl Linear {
         bias: bool,
     ) -> Self {
         let bound = xavier_bound(in_dim, out_dim);
-        let w = ps.add(format!("{name}.w"), uniform_init(rng, out_dim, in_dim, bound));
+        let w = ps.add(
+            format!("{name}.w"),
+            uniform_init(rng, out_dim, in_dim, bound),
+        );
         let b = bias.then(|| ps.add(format!("{name}.b"), Tensor::zeros(1, out_dim)));
-        Self { w, b, in_dim, out_dim }
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Input feature dimension.

@@ -81,7 +81,13 @@ impl Params {
 
     /// Register all parameters as leaves on `g`, in order.
     pub fn bind(&self, g: &mut Graph) -> Bound {
-        Bound { vars: self.entries.iter().map(|(_, t)| g.leaf(t.clone())).collect() }
+        Bound {
+            vars: self
+                .entries
+                .iter()
+                .map(|(_, t)| g.leaf(t.clone()))
+                .collect(),
+        }
     }
 
     /// Concatenate all parameters into one flat vector (allreduce wire

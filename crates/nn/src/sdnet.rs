@@ -101,7 +101,10 @@ pub struct SdNet {
 impl SdNet {
     /// Build a network with freshly initialized parameters.
     pub fn new(config: SdNetConfig, rng: &mut impl Rng) -> Self {
-        assert!(!config.hidden.is_empty(), "SdNet needs at least one hidden layer");
+        assert!(
+            !config.hidden.is_empty(),
+            "SdNet needs at least one hidden layer"
+        );
         let mut params = Params::new();
 
         let mut convs = Vec::new();
@@ -124,7 +127,10 @@ impl SdNet {
         // Per-block fan-in (DeepONet-style): the 2-wide coordinate block
         // must not be initialized as if it shared the boundary block's
         // huge fan-in, or the network starts out ignoring the coordinates.
-        let w_g = params.add("split.wg", uniform_init(rng, d0, emb, xavier_bound(emb, d0)));
+        let w_g = params.add(
+            "split.wg",
+            uniform_init(rng, d0, emb, xavier_bound(emb, d0)),
+        );
         let cf = config.coord_features();
         let w_x = params.add("split.wx", uniform_init(rng, d0, cf, xavier_bound(cf, d0)));
         let b0 = params.add("split.b", Tensor::zeros(1, d0));
@@ -149,7 +155,16 @@ impl SdNet {
             true,
         );
 
-        Self { config, params, convs, w_g, w_x, b0, trunk, head }
+        Self {
+            config,
+            params,
+            convs,
+            w_g,
+            w_x,
+            b0,
+            trunk,
+            head,
+        }
     }
 
     /// Architecture description.
@@ -349,7 +364,10 @@ mod tests {
         };
         let bs = bytes(&split);
         let bc = bytes(&concat);
-        assert!(bs < bc, "split bytes {bs} should be below concat bytes {bc}");
+        assert!(
+            bs < bc,
+            "split bytes {bs} should be below concat bytes {bc}"
+        );
     }
 
     #[test]
@@ -358,7 +376,9 @@ mod tests {
         let net = SdNet::new(tiny_config(EmbeddingKind::Split), &mut rng);
         let mut g = Graph::new();
         let b = net.params.bind(&mut g);
-        let gb = g.constant(Tensor::from_fn(2, 12, |r, c| ((r * 12 + c) as f64 * 0.3).sin()));
+        let gb = g.constant(Tensor::from_fn(2, 12, |r, c| {
+            ((r * 12 + c) as f64 * 0.3).sin()
+        }));
         let x = g.constant(Tensor::from_fn(6, 2, |r, c| (r + c) as f64 * 0.05));
         let y = net.forward(&mut g, &b, gb, x, 3);
         let sq = g.mul(y, y);
@@ -367,7 +387,11 @@ mod tests {
         for (i, gr) in grads.iter().enumerate() {
             let n = g.value(*gr).norm_l2();
             assert!(n.is_finite(), "param {i} gradient not finite");
-            assert!(n > 0.0, "param {i} ({}) has zero gradient", net.params.name(crate::params::ParamId(i)));
+            assert!(
+                n > 0.0,
+                "param {i} ({}) has zero gradient",
+                net.params.name(crate::params::ParamId(i))
+            );
         }
     }
 
@@ -380,7 +404,9 @@ mod tests {
         let mut g = Graph::new();
         let b = net.params.bind(&mut g);
         let gb = g.constant(Tensor::ones(1, 12));
-        let x = g.leaf(Tensor::from_fn(4, 2, |r, c| 0.1 * (r as f64) + 0.05 * c as f64));
+        let x = g.leaf(Tensor::from_fn(4, 2, |r, c| {
+            0.1 * (r as f64) + 0.05 * c as f64
+        }));
         let u = net.forward(&mut g, &b, gb, x, 4);
         let su = g.sum(u);
         let du = g.grad(su, &[x])[0];
@@ -389,7 +415,10 @@ mod tests {
         let duxx = g.grad(sux, &[x])[0];
         let uxx = g.slice_cols(duxx, 0, 1);
         assert!(g.value(uxx).as_slice().iter().all(|v| v.is_finite()));
-        assert!(g.value(uxx).norm_l2() > 0.0, "second derivative identically zero");
+        assert!(
+            g.value(uxx).norm_l2() > 0.0,
+            "second derivative identically zero"
+        );
     }
 
     #[test]
@@ -435,7 +464,9 @@ mod tests {
         let mut g = Graph::new();
         let b = net.params.bind(&mut g);
         let gb = g.constant(Tensor::ones(1, 12));
-        let x = g.leaf(Tensor::from_fn(4, 2, |r, c| 0.07 * (r as f64) + 0.03 * c as f64));
+        let x = g.leaf(Tensor::from_fn(4, 2, |r, c| {
+            0.07 * (r as f64) + 0.03 * c as f64
+        }));
         let u = net.forward(&mut g, &b, gb, x, 4);
         assert_eq!(g.value(u).shape(), (4, 1));
         // Second derivatives through sin/cos features are finite.

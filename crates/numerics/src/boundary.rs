@@ -55,7 +55,11 @@ pub fn boundary_params(ny: usize, nx: usize) -> Vec<f64> {
 pub fn extract_boundary(grid: &Tensor) -> Tensor {
     let (ny, nx) = grid.shape();
     let coords = boundary_coords(ny, nx);
-    Tensor::from_vec(1, coords.len(), coords.iter().map(|&(j, i)| grid.get(j, i)).collect())
+    Tensor::from_vec(
+        1,
+        coords.len(),
+        coords.iter().map(|&(j, i)| grid.get(j, i)).collect(),
+    )
 }
 
 /// Write boundary values (walk order) onto the ring of `grid`.
@@ -130,8 +134,8 @@ mod tests {
         }
         let first = coords[0];
         let last = *coords.last().unwrap();
-        let d = (first.0 as isize - last.0 as isize).abs()
-            + (first.1 as isize - last.1 as isize).abs();
+        let d =
+            (first.0 as isize - last.0 as isize).abs() + (first.1 as isize - last.1 as isize).abs();
         assert_eq!(d, 1, "walk does not close");
     }
 

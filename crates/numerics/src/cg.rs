@@ -8,7 +8,12 @@ use crate::{Poisson, SolveStats};
 use mf_tensor::Tensor;
 
 /// Solve `Δu = f` with Dirichlet values from the ring of `u0` using CG.
-pub fn solve_cg(problem: &Poisson, u0: &Tensor, max_iters: usize, tol: f64) -> (Tensor, SolveStats) {
+pub fn solve_cg(
+    problem: &Poisson,
+    u0: &Tensor,
+    max_iters: usize,
+    tol: f64,
+) -> (Tensor, SolveStats) {
     let (ny, nx) = problem.shape();
     assert!(ny >= 3 && nx >= 3, "solve_cg: grid too small");
     let (my, mx) = (ny - 2, nx - 2);
@@ -109,7 +114,14 @@ pub fn solve_cg(problem: &Poisson, u0: &Tensor, max_iters: usize, tol: f64) -> (
         }
     }
     let residual = crate::residual_norm(problem, &u);
-    (u, SolveStats { iterations, residual, converged: residual <= tol })
+    (
+        u,
+        SolveStats {
+            iterations,
+            residual,
+            converged: residual <= tol,
+        },
+    )
 }
 
 #[cfg(test)]

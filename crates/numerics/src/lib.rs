@@ -30,7 +30,9 @@ mod solver_proptests;
 pub use analytic::{eval_on_grid, harmonic_polynomial, harmonic_sin_sinh, HarmonicFn};
 pub use cg::solve_cg;
 pub use multigrid::{can_coarsen, solve_multigrid, MultigridOpts};
-pub use relax::{residual_norm, solve_jacobi, solve_rbgs, solve_shifted_sor, solve_sor, sor_optimal_omega};
+pub use relax::{
+    residual_norm, solve_jacobi, solve_rbgs, solve_shifted_sor, solve_sor, sor_optimal_omega,
+};
 
 use mf_tensor::Tensor;
 
@@ -62,7 +64,10 @@ pub struct Poisson {
 impl Poisson {
     /// The Laplace equation (`f = 0`) on an `ny×nx` grid with spacing `h`.
     pub fn laplace(ny: usize, nx: usize, h: f64) -> Self {
-        Self { f: Tensor::zeros(ny, nx), h }
+        Self {
+            f: Tensor::zeros(ny, nx),
+            h,
+        }
     }
 
     /// Grid shape `(ny, nx)`.
@@ -78,9 +83,20 @@ impl Poisson {
 /// Returns the solution grid and solve statistics.
 pub fn solve_dirichlet(problem: &Poisson, u0: &Tensor, tol: f64) -> (Tensor, SolveStats) {
     let (ny, nx) = problem.shape();
-    assert_eq!(u0.shape(), (ny, nx), "solve_dirichlet: guess shape mismatch");
+    assert_eq!(
+        u0.shape(),
+        (ny, nx),
+        "solve_dirichlet: guess shape mismatch"
+    );
     if can_coarsen(ny, nx) {
-        solve_multigrid(problem, u0, &MultigridOpts { tol, ..Default::default() })
+        solve_multigrid(
+            problem,
+            u0,
+            &MultigridOpts {
+                tol,
+                ..Default::default()
+            },
+        )
     } else {
         solve_sor(problem, u0, sor_optimal_omega(ny.max(nx)), 20_000, tol)
     }
@@ -145,6 +161,10 @@ mod tests {
         }
         let (u, stats) = solve_dirichlet(&Poisson::laplace(n, n, h), &guess, 1e-10);
         assert!(stats.converged, "solver did not converge: {stats:?}");
-        assert!(u.max_abs_diff(&exact) < 1e-7, "error {}", u.max_abs_diff(&exact));
+        assert!(
+            u.max_abs_diff(&exact) < 1e-7,
+            "error {}",
+            u.max_abs_diff(&exact)
+        );
     }
 }

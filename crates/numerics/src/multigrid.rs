@@ -25,7 +25,12 @@ pub struct MultigridOpts {
 
 impl Default for MultigridOpts {
     fn default() -> Self {
-        Self { tol: 1e-9, max_cycles: 60, pre_sweeps: 2, post_sweeps: 2 }
+        Self {
+            tol: 1e-9,
+            max_cycles: 60,
+            pre_sweeps: 2,
+            post_sweeps: 2,
+        }
     }
 }
 
@@ -42,9 +47,16 @@ pub fn can_coarsen(ny: usize, nx: usize) -> bool {
 ///
 /// Panics if the grid cannot be coarsened (check [`can_coarsen`] first or
 /// use [`crate::solve_dirichlet`], which falls back to SOR).
-pub fn solve_multigrid(problem: &Poisson, u0: &Tensor, opts: &MultigridOpts) -> (Tensor, SolveStats) {
+pub fn solve_multigrid(
+    problem: &Poisson,
+    u0: &Tensor,
+    opts: &MultigridOpts,
+) -> (Tensor, SolveStats) {
     let (ny, nx) = problem.shape();
-    assert!(can_coarsen(ny, nx), "solve_multigrid: {ny}x{nx} is not coarsenable (need 2^k+1)");
+    assert!(
+        can_coarsen(ny, nx),
+        "solve_multigrid: {ny}x{nx} is not coarsenable (need 2^k+1)"
+    );
     let mut u = u0.clone();
     let mut cycles = 0;
     let mut residual = residual_norm(problem, &u);
@@ -53,7 +65,14 @@ pub fn solve_multigrid(problem: &Poisson, u0: &Tensor, opts: &MultigridOpts) -> 
         residual = residual_norm(problem, &u);
         cycles += 1;
     }
-    (u, SolveStats { iterations: cycles, residual, converged: residual <= opts.tol })
+    (
+        u,
+        SolveStats {
+            iterations: cycles,
+            residual,
+            converged: residual <= opts.tol,
+        },
+    )
 }
 
 /// One V-cycle on `u` (in place).
@@ -76,7 +95,10 @@ pub fn vcycle(problem: &Poisson, u: &mut Tensor, opts: &MultigridOpts) {
     let rc = restrict_full_weighting(&r);
 
     // Coarse-grid error equation Δe = r with zero Dirichlet error boundary.
-    let coarse = Poisson { f: rc, h: problem.h * 2.0 };
+    let coarse = Poisson {
+        f: rc,
+        h: problem.h * 2.0,
+    };
     let (cy, cx) = coarse.shape();
     let mut e = Tensor::zeros(cy, cx);
     vcycle(&coarse, &mut e, opts);
@@ -234,7 +256,11 @@ mod tests {
                 guess.set(j, i, 0.5);
             }
         }
-        let (u, stats) = solve_multigrid(&Poisson::laplace(n, n, h), &guess, &MultigridOpts::default());
+        let (u, stats) = solve_multigrid(
+            &Poisson::laplace(n, n, h),
+            &guess,
+            &MultigridOpts::default(),
+        );
         assert!(stats.converged);
         assert!(u.max_abs_diff(&exact) < 1e-8);
     }

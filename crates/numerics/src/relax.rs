@@ -56,7 +56,14 @@ pub fn solve_jacobi(
         }
     }
     residual = residual_norm(problem, &u);
-    (u, SolveStats { iterations, residual, converged: residual <= tol })
+    (
+        u,
+        SolveStats {
+            iterations,
+            residual,
+            converged: residual <= tol,
+        },
+    )
 }
 
 /// One red-black Gauss–Seidel sweep (both colors), in place.
@@ -100,7 +107,14 @@ pub fn solve_rbgs(
         }
     }
     residual = residual_norm(problem, &u);
-    (u, SolveStats { iterations, residual, converged: residual <= tol })
+    (
+        u,
+        SolveStats {
+            iterations,
+            residual,
+            converged: residual <= tol,
+        },
+    )
 }
 
 /// SOR for the shifted operator `σu − Δu = f` (σ = 0 gives `−Δu = f`).
@@ -117,7 +131,10 @@ pub fn solve_shifted_sor(
     max_iters: usize,
     tol: f64,
 ) -> (Tensor, SolveStats) {
-    assert!(sigma >= 0.0, "solve_shifted_sor: sigma must be non-negative");
+    assert!(
+        sigma >= 0.0,
+        "solve_shifted_sor: sigma must be non-negative"
+    );
     assert!(omega > 0.0 && omega < 2.0, "SOR requires 0 < omega < 2");
     let (ny, nx) = problem.shape();
     let h2 = problem.h * problem.h;
@@ -128,8 +145,7 @@ pub fn solve_shifted_sor(
         let mut r = 0.0_f64;
         for j in 1..ny - 1 {
             for i in 1..nx - 1 {
-                let lap = (u.get(j, i - 1) + u.get(j, i + 1) + u.get(j - 1, i)
-                    + u.get(j + 1, i)
+                let lap = (u.get(j, i - 1) + u.get(j, i + 1) + u.get(j - 1, i) + u.get(j + 1, i)
                     - 4.0 * u.get(j, i))
                     * inv_h2;
                 r = r.max((problem.f.get(j, i) - sigma * u.get(j, i) + lap).abs());
@@ -154,7 +170,14 @@ pub fn solve_shifted_sor(
         }
     }
     residual = residual_shifted(&u);
-    (u, SolveStats { iterations, residual, converged: residual <= tol })
+    (
+        u,
+        SolveStats {
+            iterations,
+            residual,
+            converged: residual <= tol,
+        },
+    )
 }
 
 /// Successive over-relaxation with factor `omega` (lexicographic sweeps).
@@ -165,7 +188,10 @@ pub fn solve_sor(
     max_iters: usize,
     tol: f64,
 ) -> (Tensor, SolveStats) {
-    assert!(omega > 0.0 && omega < 2.0, "SOR requires 0 < omega < 2, got {omega}");
+    assert!(
+        omega > 0.0 && omega < 2.0,
+        "SOR requires 0 < omega < 2, got {omega}"
+    );
     let (ny, nx) = problem.shape();
     let h2 = problem.h * problem.h;
     let mut u = u0.clone();
@@ -187,7 +213,14 @@ pub fn solve_sor(
         }
     }
     residual = residual_norm(problem, &u);
-    (u, SolveStats { iterations, residual, converged: residual <= tol })
+    (
+        u,
+        SolveStats {
+            iterations,
+            residual,
+            converged: residual <= tol,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -255,7 +288,10 @@ mod tests {
                 guess.set(j, i, 0.0);
             }
         }
-        let p = Poisson { f: Tensor::full(n, n, 2.0), h };
+        let p = Poisson {
+            f: Tensor::full(n, n, 2.0),
+            h,
+        };
         let (u, stats) = solve_sor(&p, &guess, sor_optimal_omega(n), 20_000, 1e-10);
         assert!(stats.converged);
         assert!(u.max_abs_diff(&exact) < 1e-7);
@@ -269,15 +305,20 @@ mod tests {
         let h = 1.0 / (n - 1) as f64;
         let sigma = 50.0;
         let pi = std::f64::consts::PI;
-        let exact =
-            Tensor::from_fn(n, n, |j, i| (pi * i as f64 * h).sin() * (pi * j as f64 * h).sin());
+        let exact = Tensor::from_fn(n, n, |j, i| {
+            (pi * i as f64 * h).sin() * (pi * j as f64 * h).sin()
+        });
         let f = exact.scale(sigma + 2.0 * pi * pi);
         let p = Poisson { f, h };
         let guess = Tensor::zeros(n, n);
         let (u, stats) = solve_shifted_sor(&p, sigma, &guess, 1.5, 50_000, 1e-9);
         assert!(stats.converged, "{stats:?}");
         // Second-order discretization error dominates.
-        assert!(u.max_abs_diff(&exact) < 5e-3, "err {}", u.max_abs_diff(&exact));
+        assert!(
+            u.max_abs_diff(&exact) < 5e-3,
+            "err {}",
+            u.max_abs_diff(&exact)
+        );
     }
 
     #[test]
@@ -295,8 +336,17 @@ mod tests {
             }
         }
         let (u_plain, s1) = solve_sor(&Poisson { f: g.clone(), h }, &guess, 1.5, 50_000, 1e-10);
-        let (u_shift, s2) =
-            solve_shifted_sor(&Poisson { f: g.scale(-1.0), h }, 0.0, &guess, 1.5, 50_000, 1e-10);
+        let (u_shift, s2) = solve_shifted_sor(
+            &Poisson {
+                f: g.scale(-1.0),
+                h,
+            },
+            0.0,
+            &guess,
+            1.5,
+            50_000,
+            1e-10,
+        );
         assert!(s1.converged && s2.converged);
         assert!(u_plain.max_abs_diff(&u_shift) < 1e-7);
     }

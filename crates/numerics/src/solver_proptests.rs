@@ -4,8 +4,8 @@
 
 use crate::boundary::{apply_boundary, boundary_from_fn};
 use crate::{
-    solve_cg, solve_dirichlet, solve_multigrid, solve_shifted_sor, solve_sor,
-    sor_optimal_omega, MultigridOpts, Poisson,
+    solve_cg, solve_dirichlet, solve_multigrid, solve_shifted_sor, solve_sor, sor_optimal_omega,
+    MultigridOpts, Poisson,
 };
 use mf_tensor::Tensor;
 use proptest::prelude::*;

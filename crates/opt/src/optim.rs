@@ -10,12 +10,7 @@ use mf_tensor::Tensor;
 /// trainer can apply the paper's batch-size scaling rules.
 pub trait Optimizer {
     /// Apply one update.
-    fn step<'a>(
-        &mut self,
-        params: impl Iterator<Item = &'a mut Tensor>,
-        grads: &[Tensor],
-        lr: f64,
-    );
+    fn step<'a>(&mut self, params: impl Iterator<Item = &'a mut Tensor>, grads: &[Tensor], lr: f64);
 
     /// Number of updates applied so far.
     fn steps(&self) -> usize;
@@ -27,7 +22,11 @@ pub trait Optimizer {
 /// (the PDE term can produce very large residual gradients early on).
 pub fn clip_grad_norm(grads: &mut [Tensor], max_norm: f64) -> f64 {
     assert!(max_norm > 0.0, "clip_grad_norm: max_norm must be positive");
-    let total: f64 = grads.iter().map(|g| g.norm_l2().powi(2)).sum::<f64>().sqrt();
+    let total: f64 = grads
+        .iter()
+        .map(|g| g.norm_l2().powi(2))
+        .sum::<f64>()
+        .sqrt();
     if total > max_norm {
         let scale = max_norm / total;
         for g in grads.iter_mut() {
@@ -59,7 +58,11 @@ impl Sgd {
     /// Plain SGD (`momentum = 0`) or heavy-ball SGD.
     pub fn new(momentum: f64) -> Self {
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
-        Self { momentum, velocity: Vec::new(), t: 0 }
+        Self {
+            momentum,
+            velocity: Vec::new(),
+            t: 0,
+        }
     }
 }
 
@@ -102,7 +105,10 @@ struct Moments {
 
 impl Moments {
     fn new() -> Self {
-        Self { m: Vec::new(), v: Vec::new() }
+        Self {
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     fn ensure(&mut self, i: usize, shape: (usize, usize)) {
@@ -126,8 +132,11 @@ impl Moments {
         self.ensure(i, g.shape());
         let m = &mut self.m[i];
         let v = &mut self.v[i];
-        for ((mm, vv), gg) in
-            m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()).zip(g.as_slice())
+        for ((mm, vv), gg) in m
+            .as_mut_slice()
+            .iter_mut()
+            .zip(v.as_mut_slice().iter_mut())
+            .zip(g.as_slice())
         {
             *mm = beta1 * *mm + (1.0 - beta1) * gg;
             *vv = beta2 * *vv + (1.0 - beta2) * gg * gg;
@@ -135,8 +144,11 @@ impl Moments {
         let bc1 = 1.0 - beta1.powi(t as i32);
         let bc2 = 1.0 - beta2.powi(t as i32);
         let mut dir = Tensor::zeros(g.rows(), g.cols());
-        for ((d, mm), vv) in
-            dir.as_mut_slice().iter_mut().zip(m.as_slice()).zip(v.as_slice())
+        for ((d, mm), vv) in dir
+            .as_mut_slice()
+            .iter_mut()
+            .zip(m.as_slice())
+            .zip(v.as_slice())
         {
             let mhat = mm / bc1;
             let vhat = vv / bc2;
@@ -164,7 +176,13 @@ impl Adam {
 
     /// Custom betas and epsilon.
     pub fn with_betas(beta1: f64, beta2: f64, eps: f64) -> Self {
-        Self { beta1, beta2, eps, moments: Moments::new(), t: 0 }
+        Self {
+            beta1,
+            beta2,
+            eps,
+            moments: Moments::new(),
+            t: 0,
+        }
     }
 }
 
@@ -184,7 +202,9 @@ impl Optimizer for Adam {
         self.t += 1;
         for (i, (p, g)) in params.zip(grads).enumerate() {
             check_shapes(p, g, i);
-            let dir = self.moments.direction(i, g, self.t, self.beta1, self.beta2, self.eps);
+            let dir = self
+                .moments
+                .direction(i, g, self.t, self.beta1, self.beta2, self.eps);
             p.axpy(-lr, &dir);
         }
     }
@@ -209,7 +229,14 @@ pub struct AdamW {
 impl AdamW {
     /// Standard betas with the given decay coefficient.
     pub fn new(weight_decay: f64) -> Self {
-        Self { beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay, moments: Moments::new(), t: 0 }
+        Self {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            moments: Moments::new(),
+            t: 0,
+        }
     }
 }
 
@@ -223,7 +250,9 @@ impl Optimizer for AdamW {
         self.t += 1;
         for (i, (p, g)) in params.zip(grads).enumerate() {
             check_shapes(p, g, i);
-            let dir = self.moments.direction(i, g, self.t, self.beta1, self.beta2, self.eps);
+            let dir = self
+                .moments
+                .direction(i, g, self.t, self.beta1, self.beta2, self.eps);
             // Decoupled decay: w ← w − lr·λ·w, independent of the gradient.
             if self.weight_decay != 0.0 {
                 let wd = self.weight_decay;
@@ -279,7 +308,9 @@ impl Optimizer for Lamb {
         self.t += 1;
         for (i, (p, g)) in params.zip(grads).enumerate() {
             check_shapes(p, g, i);
-            let mut r = self.moments.direction(i, g, self.t, self.beta1, self.beta2, self.eps);
+            let mut r = self
+                .moments
+                .direction(i, g, self.t, self.beta1, self.beta2, self.eps);
             if self.weight_decay != 0.0 {
                 r.axpy(self.weight_decay, p);
             }
@@ -355,7 +386,7 @@ mod tests {
         // gradient magnitude.
         for &scale in &[1e-4, 1.0, 1e4] {
             let mut o = Adam::new();
-            let mut p = vec![Tensor::zeros(1, 1)];
+            let mut p = [Tensor::zeros(1, 1)];
             let g = vec![Tensor::scalar(scale)];
             o.step(p.iter_mut(), &g, 0.01);
             assert!(
@@ -370,13 +401,13 @@ mod tests {
     fn adamw_decay_is_decoupled() {
         // Zero gradient: AdamW still shrinks weights, Adam does not.
         let mut aw = AdamW::new(0.1);
-        let mut p = vec![Tensor::scalar(1.0)];
+        let mut p = [Tensor::scalar(1.0)];
         let g = vec![Tensor::scalar(0.0)];
         aw.step(p.iter_mut(), &g, 0.5);
         assert!((p[0].item() - 0.95).abs() < 1e-12);
 
         let mut a = Adam::new();
-        let mut p2 = vec![Tensor::scalar(1.0)];
+        let mut p2 = [Tensor::scalar(1.0)];
         a.step(p2.iter_mut(), &g, 0.5);
         assert_eq!(p2[0].item(), 1.0);
     }
@@ -387,14 +418,17 @@ mod tests {
         // scaling all gradients leaves the step (nearly) unchanged.
         let run = |gscale: f64| {
             let mut o = Lamb::new(0.0);
-            let mut p = vec![Tensor::from_vec(1, 2, vec![3.0, 4.0])];
+            let mut p = [Tensor::from_vec(1, 2, vec![3.0, 4.0])];
             let g = vec![Tensor::from_vec(1, 2, vec![1.0 * gscale, 2.0 * gscale])];
             o.step(p.iter_mut(), &g, 0.1);
             p[0].clone()
         };
         let a = run(1.0);
         let b = run(1000.0);
-        assert!(a.allclose(&b, 1e-6), "LAMB not scale invariant: {a:?} vs {b:?}");
+        assert!(
+            a.allclose(&b, 1e-6),
+            "LAMB not scale invariant: {a:?} vs {b:?}"
+        );
     }
 
     #[test]
@@ -402,7 +436,7 @@ mod tests {
         // Tiny direction norm would give a huge trust ratio; the clamp
         // bounds the step size.
         let mut o = Lamb::new(0.0);
-        let mut p = vec![Tensor::from_vec(1, 2, vec![1e6, 1e6])];
+        let mut p = [Tensor::from_vec(1, 2, vec![1e6, 1e6])];
         let g = vec![Tensor::from_vec(1, 2, vec![1e-12, 1e-12])];
         let before = p[0].clone();
         o.step(p.iter_mut(), &g, 0.1);
@@ -430,15 +464,14 @@ mod tests {
     fn clip_grad_norm_spans_multiple_tensors() {
         let mut grads = vec![Tensor::full(1, 1, 3.0), Tensor::full(1, 1, 4.0)];
         clip_grad_norm(&mut grads, 1.0);
-        let joint =
-            (grads[0].item().powi(2) + grads[1].item().powi(2)).sqrt();
+        let joint = (grads[0].item().powi(2) + grads[1].item().powi(2)).sqrt();
         assert!((joint - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn steps_counter_advances() {
         let mut o = Adam::new();
-        let mut p = vec![Tensor::scalar(0.0)];
+        let mut p = [Tensor::scalar(0.0)];
         for i in 1..=5 {
             o.step(p.iter_mut(), &[Tensor::scalar(1.0)], 0.01);
             assert_eq!(o.steps(), i);
@@ -449,7 +482,7 @@ mod tests {
     #[should_panic(expected = "shape")]
     fn mismatched_gradient_shape_panics() {
         let mut o = Sgd::new(0.0);
-        let mut p = vec![Tensor::zeros(2, 2)];
+        let mut p = [Tensor::zeros(2, 2)];
         o.step(p.iter_mut(), &[Tensor::zeros(1, 4)], 0.1);
     }
 }

@@ -1,0 +1,216 @@
+//! Trace exporters: JSONL (one event per line) and Chrome `trace_event`
+//! JSON (loadable in `chrome://tracing` / Perfetto), plus parsers that
+//! invert them exactly — used by tests and offline tooling.
+
+use crate::json::{escape, JsonValue};
+use crate::span::SpanEvent;
+use std::io::{self, Write};
+
+fn fmt_args(args: &[(String, f64)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let v = if v.is_finite() { *v } else { 0.0 };
+        out.push_str(&format!("\"{}\":{}", escape(k), v));
+    }
+    out.push('}');
+    out
+}
+
+/// Write events as JSON Lines: one self-contained object per line with
+/// `name`, `rank`, `ts` (µs), `dur` (µs), `depth`, and `args`.
+pub fn write_jsonl<W: Write>(events: &[SpanEvent], w: &mut W) -> io::Result<()> {
+    for e in events {
+        writeln!(
+            w,
+            "{{\"name\":\"{}\",\"rank\":{},\"ts\":{},\"dur\":{},\"depth\":{},\"args\":{}}}",
+            escape(&e.name),
+            e.rank,
+            e.start_us,
+            e.dur_us,
+            e.depth,
+            fmt_args(&e.args)
+        )?;
+    }
+    Ok(())
+}
+
+/// Write events in the Chrome `trace_event` array format: complete
+/// (`"ph":"X"`) events with microsecond `ts`/`dur`, `pid` 0, and the rank
+/// as `tid`, so each rank renders as one flame-graph row.
+pub fn write_chrome_trace<W: Write>(events: &[SpanEvent], w: &mut W) -> io::Result<()> {
+    writeln!(w, "[")?;
+    for (i, e) in events.iter().enumerate() {
+        let sep = if i + 1 == events.len() { "" } else { "," };
+        writeln!(
+            w,
+            "{{\"name\":\"{}\",\"cat\":\"mf\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"depth\":{},\"args\":{}}}{sep}",
+            escape(&e.name),
+            e.start_us,
+            e.dur_us,
+            e.rank,
+            e.depth,
+            fmt_args(&e.args)
+        )?;
+    }
+    writeln!(w, "]")?;
+    Ok(())
+}
+
+fn field_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_f64)
+        .map(|f| f as u64)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+fn event_from_json(v: &JsonValue, rank_key: &str) -> Result<SpanEvent, String> {
+    let name = v
+        .get("name")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing field \"name\"")?
+        .to_string();
+    let args = match v.get("args") {
+        Some(JsonValue::Obj(members)) => members
+            .iter()
+            .map(|(k, val)| {
+                val.as_f64()
+                    .map(|f| (k.clone(), f))
+                    .ok_or_else(|| format!("non-numeric arg {k:?}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => Vec::new(),
+    };
+    Ok(SpanEvent {
+        name,
+        rank: field_u64(v, rank_key)? as usize,
+        start_us: field_u64(v, "ts")?,
+        dur_us: field_u64(v, "dur")?,
+        depth: field_u64(v, "depth")? as u32,
+        args,
+    })
+}
+
+/// Parse a JSONL trace written by [`write_jsonl`].
+pub fn parse_jsonl(s: &str) -> Result<Vec<SpanEvent>, String> {
+    s.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| event_from_json(&JsonValue::parse(l)?, "rank"))
+        .collect()
+}
+
+/// Parse a Chrome trace written by [`write_chrome_trace`].
+pub fn parse_chrome_trace(s: &str) -> Result<Vec<SpanEvent>, String> {
+    let doc = JsonValue::parse(s)?;
+    let events = doc
+        .as_arr()
+        .ok_or("chrome trace: top level is not an array")?;
+    events
+        .iter()
+        .map(|e| {
+            match e.get("ph").and_then(JsonValue::as_str) {
+                Some("X") => {}
+                other => return Err(format!("unsupported event phase {other:?}")),
+            }
+            event_from_json(e, "tid")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<SpanEvent> {
+        vec![
+            SpanEvent {
+                name: "train.step".into(),
+                rank: 0,
+                start_us: 10,
+                dur_us: 900,
+                depth: 0,
+                args: vec![],
+            },
+            SpanEvent {
+                name: "comm.allreduce".into(),
+                rank: 0,
+                start_us: 700,
+                dur_us: 150,
+                depth: 1,
+                args: vec![("bytes".into(), 4096.0), ("elems".into(), 512.0)],
+            },
+            SpanEvent {
+                name: "mfp.iteration".into(),
+                rank: 3,
+                start_us: 42,
+                dur_us: 0,
+                depth: 0,
+                args: vec![("residual".into(), 0.125)],
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_identical_spans() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        write_jsonl(&events, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), events.len());
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_identical_spans() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        write_chrome_trace(&events, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let back = parse_chrome_trace(&text).unwrap();
+        assert_eq!(back, events);
+        // Structural validity: every event is a complete event with
+        // microsecond timestamps and the rank as tid.
+        let doc = JsonValue::parse(&text).unwrap();
+        for e in doc.as_arr().unwrap() {
+            assert_eq!(e.get("ph").and_then(JsonValue::as_str), Some("X"));
+            assert!(e.get("ts").and_then(JsonValue::as_f64).is_some());
+            assert!(e.get("dur").and_then(JsonValue::as_f64).is_some());
+            assert!(e.get("tid").and_then(JsonValue::as_f64).is_some());
+        }
+        assert_eq!(
+            doc.as_arr().unwrap()[2]
+                .get("tid")
+                .and_then(JsonValue::as_f64),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn names_with_quotes_survive_the_round_trip() {
+        let events = vec![SpanEvent {
+            name: "odd \"name\"\nwith\tescapes".into(),
+            rank: 1,
+            start_us: 0,
+            dur_us: 1,
+            depth: 0,
+            args: vec![],
+        }];
+        let mut buf = Vec::new();
+        write_jsonl(&events, &mut buf).unwrap();
+        assert_eq!(
+            parse_jsonl(&String::from_utf8(buf).unwrap()).unwrap(),
+            events
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let mut buf = Vec::new();
+        write_chrome_trace(&[], &mut buf).unwrap();
+        let back = parse_chrome_trace(&String::from_utf8(buf).unwrap()).unwrap();
+        assert!(back.is_empty());
+    }
+}

@@ -1,0 +1,172 @@
+//! Human-readable summary report over per-rank metric snapshots.
+
+use crate::metrics::{MetricValue, MetricsSnapshot};
+use std::fmt::Write;
+
+fn fmt_count(v: u64) -> String {
+    if v >= 10_000_000 {
+        format!("{:.1}M", v as f64 / 1e6)
+    } else if v >= 100_000 {
+        format!("{:.1}k", v as f64 / 1e3)
+    } else {
+        v.to_string()
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e6 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn fmt_bound(v: f64) -> String {
+    if v.is_infinite() {
+        "inf".to_string()
+    } else {
+        fmt_f64(v)
+    }
+}
+
+/// Render one merged, human-readable report over per-rank snapshots
+/// (index = rank). Counters show per-rank values and the total;
+/// histograms are merged across ranks with count/mean/quantiles; gauges
+/// show the per-rank maximum. Metrics that stayed at zero everywhere are
+/// omitted.
+pub fn render_report(per_rank: &[MetricsSnapshot]) -> String {
+    let mut merged = MetricsSnapshot::default();
+    for snap in per_rank {
+        merged.merge(snap);
+    }
+    let show_ranks = per_rank.len() > 1 && per_rank.len() <= 8;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== telemetry report ({} rank{}) ==",
+        per_rank.len(),
+        if per_rank.len() == 1 { "" } else { "s" }
+    );
+
+    let counters: Vec<_> = merged
+        .metrics
+        .iter()
+        .filter_map(|(n, v)| match v {
+            MetricValue::Counter(c) if *c > 0 => Some((n.clone(), *c)),
+            _ => None,
+        })
+        .collect();
+    if !counters.is_empty() {
+        let _ = writeln!(out, "-- counters --");
+        for (name, total) in counters {
+            let mut line = format!("{name:<28} total {:>10}", fmt_count(total));
+            if show_ranks {
+                let per: Vec<String> = per_rank
+                    .iter()
+                    .map(|s| fmt_count(s.counter(&name)))
+                    .collect();
+                let _ = write!(line, "   per-rank [{}]", per.join(" "));
+            }
+            let _ = writeln!(out, "{line}");
+        }
+    }
+
+    let gauges: Vec<_> = merged
+        .metrics
+        .iter()
+        .filter_map(|(n, v)| match v {
+            MetricValue::Gauge(g) if *g != 0.0 => Some((n.clone(), *g)),
+            _ => None,
+        })
+        .collect();
+    if !gauges.is_empty() {
+        let _ = writeln!(out, "-- gauges (max across ranks) --");
+        for (name, max) in gauges {
+            let _ = writeln!(out, "{name:<28} {:>16}", fmt_f64(max));
+        }
+    }
+
+    let hists: Vec<_> = merged
+        .metrics
+        .iter()
+        .filter_map(|(n, v)| match v {
+            MetricValue::Histogram(h) if h.count > 0 => Some((n.clone(), h.clone())),
+            _ => None,
+        })
+        .collect();
+    if !hists.is_empty() {
+        let _ = writeln!(out, "-- histograms (merged across ranks) --");
+        for (name, h) in hists {
+            let _ = writeln!(
+                out,
+                "{name:<28} n {:>8}  mean {:>10}  p50<={:>10}  p99<={:>10}  max {:>10}",
+                fmt_count(h.count),
+                fmt_f64(h.mean()),
+                fmt_bound(h.quantile(0.5)),
+                fmt_bound(h.quantile(0.99)),
+                fmt_f64(h.max),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistSnapshot;
+
+    fn snap(msgs: u64, nodes: f64) -> MetricsSnapshot {
+        MetricsSnapshot {
+            metrics: vec![
+                ("comm.msgs_sent".into(), MetricValue::Counter(msgs)),
+                ("autodiff.graph_nodes".into(), MetricValue::Gauge(nodes)),
+                ("zero.counter".into(), MetricValue::Counter(0)),
+                (
+                    "train.step_us".into(),
+                    MetricValue::Histogram(HistSnapshot {
+                        bounds: vec![100.0, 1000.0],
+                        counts: vec![1, 2, 0],
+                        count: 3,
+                        sum: 900.0,
+                        min: 50.0,
+                        max: 600.0,
+                    }),
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn report_merges_and_lists_per_rank_values() {
+        let r = render_report(&[snap(6, 100.0), snap(4, 120.0)]);
+        assert!(r.contains("2 ranks"));
+        let counters_line = r.lines().find(|l| l.contains("comm.msgs_sent")).unwrap();
+        assert!(
+            counters_line.contains("10"),
+            "missing total: {counters_line}"
+        );
+        assert!(counters_line.contains("per-rank [6 4]"));
+        assert!(r.contains("autodiff.graph_nodes"));
+        assert!(r.contains("120"));
+        // Merged histogram: 6 observations.
+        let hist_line = r.lines().find(|l| l.contains("train.step_us")).unwrap();
+        let toks: Vec<&str> = hist_line.split_whitespace().collect();
+        let n_pos = toks.iter().position(|&t| t == "n").unwrap();
+        assert_eq!(toks[n_pos + 1], "6", "bad merged count: {hist_line}");
+        // Zero-valued metrics are omitted.
+        assert!(!r.contains("zero.counter"));
+    }
+
+    #[test]
+    fn single_rank_report_omits_per_rank_column() {
+        let r = render_report(&[snap(3, 10.0)]);
+        assert!(r.contains("1 rank"));
+        assert!(!r.contains("per-rank"));
+    }
+}

@@ -156,7 +156,10 @@ mod tests {
         for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (17, 9, 23), (64, 33, 7)] {
             let a = random(&mut rng, m, k);
             let b = random(&mut rng, k, n);
-            assert!(a.matmul(&b).allclose(&naive(&a, &b), 1e-10), "shape {m}x{k}x{n}");
+            assert!(
+                a.matmul(&b).allclose(&naive(&a, &b), 1e-10),
+                "shape {m}x{k}x{n}"
+            );
         }
     }
 

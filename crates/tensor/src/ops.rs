@@ -30,7 +30,11 @@ impl Tensor {
     /// Add a `1×cols` row vector to every row.
     pub fn broadcast_row_add(&self, row: &Tensor) -> Tensor {
         assert_eq!(row.rows(), 1, "broadcast_row_add: rhs must be a row vector");
-        assert_eq!(row.cols(), self.cols(), "broadcast_row_add: column mismatch");
+        assert_eq!(
+            row.cols(),
+            self.cols(),
+            "broadcast_row_add: column mismatch"
+        );
         let mut out = self.clone();
         for r in 0..out.rows() {
             for (o, &b) in out.row_mut(r).iter_mut().zip(row.row(0)) {
@@ -64,7 +68,11 @@ impl Tensor {
     pub fn sum_groups(&self, q: usize) -> Tensor {
         assert!(q > 0, "sum_groups: q must be positive");
         let (bq, d) = self.shape();
-        assert_eq!(bq % q, 0, "sum_groups: {bq} rows not divisible by group size {q}");
+        assert_eq!(
+            bq % q,
+            0,
+            "sum_groups: {bq} rows not divisible by group size {q}"
+        );
         let b = bq / q;
         let mut out = Tensor::zeros(b, d);
         for r in 0..bq {
@@ -141,7 +149,10 @@ impl Tensor {
     /// Embed this tensor as columns `[start, start+cols)` of a wider
     /// zero matrix with `total` columns (adjoint of [`Tensor::slice_cols`]).
     pub fn pad_cols(&self, start: usize, total: usize) -> Tensor {
-        assert!(start + self.cols() <= total, "pad_cols: slice exceeds target width");
+        assert!(
+            start + self.cols() <= total,
+            "pad_cols: slice exceeds target width"
+        );
         let mut out = Tensor::zeros(self.rows(), total);
         for r in 0..self.rows() {
             out.row_mut(r)[start..start + self.cols()].copy_from_slice(self.row(r));
@@ -152,7 +163,10 @@ impl Tensor {
     /// Embed this tensor as rows `[start, start+rows)` of a taller zero
     /// matrix with `total` rows (adjoint of [`Tensor::slice_rows`]).
     pub fn pad_rows(&self, start: usize, total: usize) -> Tensor {
-        assert!(start + self.rows() <= total, "pad_rows: slice exceeds target height");
+        assert!(
+            start + self.rows() <= total,
+            "pad_rows: slice exceeds target height"
+        );
         let mut out = Tensor::zeros(total, self.cols());
         for r in 0..self.rows() {
             out.row_mut(start + r).copy_from_slice(self.row(r));
@@ -174,7 +188,11 @@ impl Tensor {
 pub fn unfold1d_circular(input: &Tensor, channels: usize, k: usize) -> Tensor {
     let (b, width) = input.shape();
     assert!(k >= 1, "unfold1d_circular: kernel size must be >= 1");
-    assert_eq!(width % channels, 0, "unfold1d_circular: width not divisible by channels");
+    assert_eq!(
+        width % channels,
+        0,
+        "unfold1d_circular: width not divisible by channels"
+    );
     let len = width / channels;
     assert!(len >= 1, "unfold1d_circular: empty signal");
     let half = (k - 1) / 2;

@@ -20,7 +20,11 @@ pub struct Tensor {
 impl Tensor {
     /// Create a tensor filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { data: vec![0.0; rows * cols], rows, cols }
+        Self {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Create a tensor filled with ones.
@@ -30,12 +34,20 @@ impl Tensor {
 
     /// Create a tensor filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f64) -> Self {
-        Self { data: vec![value; rows * cols], rows, cols }
+        Self {
+            data: vec![value; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Create a `1×1` tensor holding a single scalar.
     pub fn scalar(value: f64) -> Self {
-        Self { data: vec![value], rows: 1, cols: 1 }
+        Self {
+            data: vec![value],
+            rows: 1,
+            cols: 1,
+        }
     }
 
     /// Identity matrix of size `n×n`.
@@ -145,28 +157,51 @@ impl Tensor {
 
     /// The value of a `1×1` tensor. Panics otherwise.
     pub fn item(&self) -> f64 {
-        assert_eq!(self.numel(), 1, "Tensor::item called on {}x{} tensor", self.rows, self.cols);
+        assert_eq!(
+            self.numel(),
+            1,
+            "Tensor::item called on {}x{} tensor",
+            self.rows,
+            self.cols
+        );
         self.data[0]
     }
 
     /// Immutable view of row `r`.
     #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
-        assert!(r < self.rows, "row {} out of bounds for {} rows", r, self.rows);
+        assert!(
+            r < self.rows,
+            "row {} out of bounds for {} rows",
+            r,
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Mutable view of row `r`.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
-        assert!(r < self.rows, "row {} out of bounds for {} rows", r, self.rows);
+        assert!(
+            r < self.rows,
+            "row {} out of bounds for {} rows",
+            r,
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Copy of column `c` as a `Vec`.
     pub fn col(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "col {} out of bounds for {} cols", c, self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        assert!(
+            c < self.cols,
+            "col {} out of bounds for {} cols",
+            c,
+            self.cols
+        );
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Reinterpret as a new shape with the same number of elements. Free for
@@ -181,7 +216,11 @@ impl Tensor {
             rows,
             cols
         );
-        Tensor { data: self.data.clone(), rows, cols }
+        Tensor {
+            data: self.data.clone(),
+            rows,
+            cols,
+        }
     }
 
     /// In-place reshape (metadata only).
@@ -228,7 +267,12 @@ impl Tensor {
     pub fn zip_map(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
         self.assert_same_shape(other, "zip_map");
         Tensor {
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
             rows: self.rows,
             cols: self.cols,
         }
@@ -325,7 +369,11 @@ impl Tensor {
         if self.data.is_empty() {
             return 0.0;
         }
-        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).sum::<f64>()
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
             / self.data.len() as f64
     }
 

@@ -99,7 +99,11 @@ mod tests {
             }
         }
         // Most parameters must receive gradient through the Laplacian.
-        assert!(nonzero >= grads.len() - 1, "only {nonzero}/{} grads nonzero", grads.len());
+        assert!(
+            nonzero >= grads.len() - 1,
+            "only {nonzero}/{} grads nonzero",
+            grads.len()
+        );
     }
 
     #[test]
@@ -129,10 +133,10 @@ mod tests {
         let mut acc = 0.0;
         for b in 0..2 {
             let (x, y) = (batch.colloc_points.get(b, 0), batch.colloc_points.get(b, 1));
-            let lap = (eval(b, x + h, y) + eval(b, x - h, y) + eval(b, x, y + h)
-                + eval(b, x, y - h)
-                - 4.0 * eval(b, x, y))
-                / (h * h);
+            let lap =
+                (eval(b, x + h, y) + eval(b, x - h, y) + eval(b, x, y + h) + eval(b, x, y - h)
+                    - 4.0 * eval(b, x, y))
+                    / (h * h);
             acc += lap * lap;
         }
         let fd_loss = acc / 2.0;

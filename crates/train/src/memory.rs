@@ -30,7 +30,9 @@ impl MemoryReport {
 }
 
 /// Meter the graph bytes of a full training step on `batch`, with and
-/// without the PDE loss term.
+/// without the PDE loss term. The peak node count and byte footprint are
+/// also published to the `autodiff.graph_nodes` / `autodiff.graph_bytes`
+/// telemetry gauges.
 pub fn measure_step_memory(net: &SdNet, batch: &Batch) -> MemoryReport {
     // Without PDE loss: forward + data loss + backward to weights.
     let mut g = Graph::new();
@@ -50,7 +52,15 @@ pub fn measure_step_memory(net: &SdNet, batch: &Batch) -> MemoryReport {
     let _ = g.grad(total, bound.all_vars());
     let bytes_with_pde = g.bytes_allocated();
 
-    MemoryReport { domains: batch.batch_size(), bytes_no_pde, bytes_with_pde }
+    let m = crate::step::train_metrics();
+    m.graph_nodes.update(|v| v.max(g.len() as f64));
+    m.graph_bytes.update(|v| v.max(bytes_with_pde as f64));
+
+    MemoryReport {
+        domains: batch.batch_size(),
+        bytes_no_pde,
+        bytes_with_pde,
+    }
 }
 
 #[cfg(test)]

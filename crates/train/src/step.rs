@@ -17,6 +17,7 @@ use mf_data::Batch;
 use mf_dist::Communicator;
 use mf_nn::SdNet;
 use mf_opt::Optimizer;
+use mf_telemetry::{gauge, histogram, span, Buckets, Gauge, Histogram};
 use mf_tensor::Tensor;
 
 /// Gradient synchronization strategy (ablation knob).
@@ -28,6 +29,33 @@ pub enum GradSync {
     /// One allreduce per loss term (what naive DDP hooks would do): same
     /// numerics, twice the latency cost.
     PerLoss,
+}
+
+/// Cached `mf-telemetry` handles for the trainer hot path (registered
+/// once; recording is thread-local and lock-free).
+pub(crate) struct TrainMetrics {
+    pub data_pass_us: Histogram,
+    pub pde_pass_us: Histogram,
+    pub sync_us: Histogram,
+    pub opt_us: Histogram,
+    pub step_us: Histogram,
+    pub graph_nodes: Gauge,
+    pub graph_bytes: Gauge,
+}
+
+/// The shared trainer metric handles.
+pub(crate) fn train_metrics() -> &'static TrainMetrics {
+    use std::sync::OnceLock;
+    static M: OnceLock<TrainMetrics> = OnceLock::new();
+    M.get_or_init(|| TrainMetrics {
+        data_pass_us: histogram("train.data_pass_us", Buckets::latency_us()),
+        pde_pass_us: histogram("train.pde_pass_us", Buckets::latency_us()),
+        sync_us: histogram("train.sync_us", Buckets::latency_us()),
+        opt_us: histogram("train.opt_us", Buckets::latency_us()),
+        step_us: histogram("train.step_us", Buckets::latency_us()),
+        graph_nodes: gauge("autodiff.graph_nodes"),
+        graph_bytes: gauge("autodiff.graph_bytes"),
+    })
 }
 
 /// Metrics from one training step.
@@ -57,27 +85,38 @@ pub fn local_gradients(
     let mut stats = StepStats::default();
 
     // Pass 1: data points.
-    let mut g = Graph::new();
-    let bound = net.params.bind(&mut g);
-    let ld = data_loss(&mut g, net, &bound, batch);
-    stats.data_loss = g.value(ld).item();
-    let dgrads = g.grad(ld, bound.all_vars());
-    let data_grads: Vec<Tensor> = dgrads.iter().map(|&v| g.value(v).clone()).collect();
-    stats.graph_nodes += g.len();
-    stats.graph_bytes += g.bytes_allocated();
-    drop(g);
+    let (data_grads, data_secs) = mf_telemetry::timed("train.data_pass", || {
+        let mut g = Graph::new();
+        let bound = net.params.bind(&mut g);
+        let ld = data_loss(&mut g, net, &bound, batch);
+        stats.data_loss = g.value(ld).item();
+        let dgrads = g.grad(ld, bound.all_vars());
+        let data_grads: Vec<Tensor> = dgrads.iter().map(|&v| g.value(v).clone()).collect();
+        stats.graph_nodes += g.len();
+        stats.graph_bytes += g.bytes_allocated();
+        data_grads
+    });
 
     // Pass 2: collocation points (fresh graph, like a fresh autograd
     // graph in PyTorch once the first backward freed its buffers).
-    let mut g = Graph::new();
-    let bound = net.params.bind(&mut g);
-    let lp = pde_loss(&mut g, net, &bound, batch);
-    let lp = g.scale(lp, pde_weight);
-    stats.pde_loss = g.value(lp).item();
-    let pgrads = g.grad(lp, bound.all_vars());
-    let pde_grads: Vec<Tensor> = pgrads.iter().map(|&v| g.value(v).clone()).collect();
-    stats.graph_nodes += g.len();
-    stats.graph_bytes += g.bytes_allocated();
+    let (pde_grads, pde_secs) = mf_telemetry::timed("train.pde_pass", || {
+        let mut g = Graph::new();
+        let bound = net.params.bind(&mut g);
+        let lp = pde_loss(&mut g, net, &bound, batch);
+        let lp = g.scale(lp, pde_weight);
+        stats.pde_loss = g.value(lp).item();
+        let pgrads = g.grad(lp, bound.all_vars());
+        let pde_grads: Vec<Tensor> = pgrads.iter().map(|&v| g.value(v).clone()).collect();
+        stats.graph_nodes += g.len();
+        stats.graph_bytes += g.bytes_allocated();
+        pde_grads
+    });
+
+    let m = train_metrics();
+    m.data_pass_us.record(data_secs * 1e6);
+    m.pde_pass_us.record(pde_secs * 1e6);
+    m.graph_nodes.update(|v| v.max(stats.graph_nodes as f64));
+    m.graph_bytes.update(|v| v.max(stats.graph_bytes as f64));
 
     (data_grads, pde_grads, stats)
 }
@@ -96,7 +135,11 @@ fn unflatten_like(flat: &[f64], like: &[Tensor]) -> Vec<Tensor> {
     let mut off = 0;
     for t in like {
         let n = t.numel();
-        out.push(Tensor::from_vec(t.rows(), t.cols(), flat[off..off + n].to_vec()));
+        out.push(Tensor::from_vec(
+            t.rows(),
+            t.cols(),
+            flat[off..off + n].to_vec(),
+        ));
         off += n;
     }
     assert_eq!(off, flat.len(), "unflatten_like: length mismatch");
@@ -111,10 +154,20 @@ pub fn train_step_single(
     lr: f64,
     pde_weight: f64,
 ) -> StepStats {
+    span!("train.step");
+    let m = train_metrics();
+    let _step_timer = m.step_us.time();
     let (data_grads, pde_grads, stats) = local_gradients(net, batch, pde_weight);
-    let grads: Vec<Tensor> =
-        data_grads.iter().zip(&pde_grads).map(|(d, p)| d.add(p)).collect();
-    opt.step(net.params.tensors_mut(), &grads, lr);
+    let grads: Vec<Tensor> = data_grads
+        .iter()
+        .zip(&pde_grads)
+        .map(|(d, p)| d.add(p))
+        .collect();
+    {
+        span!("train.opt");
+        let _t = m.opt_us.time();
+        opt.step(net.params.tensors_mut(), &grads, lr);
+    }
     stats
 }
 
@@ -130,28 +183,42 @@ pub fn train_step_distributed(
     comm: &mut Communicator,
     sync: GradSync,
 ) -> StepStats {
+    span!("train.step");
+    let m = train_metrics();
+    let _step_timer = m.step_us.time();
     let (data_grads, pde_grads, stats) = local_gradients(net, batch, pde_weight);
-    let grads = match sync {
-        GradSync::Fused => {
-            // Accumulate locally (line 9), then one allreduce (line 10).
-            let local: Vec<Tensor> =
-                data_grads.iter().zip(&pde_grads).map(|(d, p)| d.add(p)).collect();
-            let mut flat = flatten(&local);
-            comm.allreduce_mean(&mut flat);
-            unflatten_like(&flat, &local)
-        }
-        GradSync::PerLoss => {
-            // Naive variant: synchronize each term separately.
-            let mut fd = flatten(&data_grads);
-            comm.allreduce_mean(&mut fd);
-            let mut fp = flatten(&pde_grads);
-            comm.allreduce_mean(&mut fp);
-            let avg_d = unflatten_like(&fd, &data_grads);
-            let avg_p = unflatten_like(&fp, &pde_grads);
-            avg_d.iter().zip(&avg_p).map(|(d, p)| d.add(p)).collect()
+    let grads = {
+        span!("train.sync");
+        let _t = m.sync_us.time();
+        match sync {
+            GradSync::Fused => {
+                // Accumulate locally (line 9), then one allreduce (line 10).
+                let local: Vec<Tensor> = data_grads
+                    .iter()
+                    .zip(&pde_grads)
+                    .map(|(d, p)| d.add(p))
+                    .collect();
+                let mut flat = flatten(&local);
+                comm.allreduce_mean(&mut flat);
+                unflatten_like(&flat, &local)
+            }
+            GradSync::PerLoss => {
+                // Naive variant: synchronize each term separately.
+                let mut fd = flatten(&data_grads);
+                comm.allreduce_mean(&mut fd);
+                let mut fp = flatten(&pde_grads);
+                comm.allreduce_mean(&mut fp);
+                let avg_d = unflatten_like(&fd, &data_grads);
+                let avg_p = unflatten_like(&fp, &pde_grads);
+                avg_d.iter().zip(&avg_p).map(|(d, p)| d.add(p)).collect()
+            }
         }
     };
-    opt.step(net.params.tensors_mut(), &grads, lr);
+    {
+        span!("train.opt");
+        let _t = m.opt_us.time();
+        opt.step(net.params.tensors_mut(), &grads, lr);
+    }
     stats
 }
 
@@ -192,7 +259,11 @@ mod tests {
         for _ in 0..20 {
             last = train_step_single(&mut net, batch, &mut opt, 0.05, 0.01).data_loss;
         }
-        assert!(last < s1.data_loss, "loss did not decrease: {} -> {last}", s1.data_loss);
+        assert!(
+            last < s1.data_loss,
+            "loss did not decrease: {} -> {last}",
+            s1.data_loss
+        );
     }
 
     #[test]
@@ -234,8 +305,8 @@ mod tests {
             net.params.flatten()
         });
         let expect = net_ref.params.flatten();
-        for rank in 0..2 {
-            for (a, b) in results[rank].iter().zip(&expect) {
+        for (rank, result) in results.iter().enumerate() {
+            for (a, b) in result.iter().zip(&expect) {
                 assert!((a - b).abs() < 1e-10, "rank {rank}: {a} vs {b}");
             }
         }

@@ -163,13 +163,20 @@ pub fn train_single(
         let nb = batches.len().max(1);
         for batch in &batches {
             let lr = cfg.schedule.lr_at(global_step);
+            mf_telemetry::span!("train.step", epoch = epoch as f64);
+            let m = crate::step::train_metrics();
+            let _step_timer = m.step_us.time();
             // Inline single-device step using the boxed optimizer.
             let (dg, pg, stats) = crate::step::local_gradients(net, batch, cfg.pde_weight);
             let mut grads: Vec<Tensor> = dg.iter().zip(&pg).map(|(a, b)| a.add(b)).collect();
             if let Some(max) = cfg.clip_norm {
                 mf_opt::clip_grad_norm(&mut grads, max);
             }
-            opt.step_net(net, &grads, lr);
+            {
+                mf_telemetry::span!("train.opt");
+                let _t = m.opt_us.time();
+                opt.step_net(net, &grads, lr);
+            }
             dl += stats.data_loss;
             pl += stats.pde_loss;
             global_step += 1;
@@ -203,8 +210,12 @@ pub fn train_ddp(
         let rank = comm.rank();
         let mut net = template.clone();
         let shard = train.shard(rank, world);
-        let mut sampler =
-            BatchSampler::new(cfg.batch_size, cfg.qd, cfg.qc, cfg.seed.wrapping_add(rank as u64));
+        let mut sampler = BatchSampler::new(
+            cfg.batch_size,
+            cfg.qd,
+            cfg.qc,
+            cfg.seed.wrapping_add(rank as u64),
+        );
         let mut opt = make_opt(cfg.opt);
         let mut logs = Vec::new();
         let mut global_step = 0usize;
@@ -219,35 +230,46 @@ pub fn train_ddp(
             // sampler drops partial batches; assert to catch mismatches.
             let nb = comm.allreduce_scalar(batches.len() as f64) / world as f64;
             assert_eq!(
-                nb as usize, batches.len(),
+                nb as usize,
+                batches.len(),
                 "rank {rank}: shard batch counts diverged"
             );
             for batch in &batches {
                 let lr = schedule.lr_at(global_step);
-                let (dg, pg, stats) =
-                    crate::step::local_gradients(&net, batch, cfg.pde_weight);
-                let mut grads: Vec<Tensor> = match sync {
-                    GradSync::Fused => {
-                        let local: Vec<Tensor> =
-                            dg.iter().zip(&pg).map(|(a, b)| a.add(b)).collect();
-                        let mut flat = flatten(&local);
-                        comm.allreduce_mean(&mut flat);
-                        unflatten_like(&flat, &local)
-                    }
-                    GradSync::PerLoss => {
-                        let mut fd = flatten(&dg);
-                        comm.allreduce_mean(&mut fd);
-                        let mut fp = flatten(&pg);
-                        comm.allreduce_mean(&mut fp);
-                        let d = unflatten_like(&fd, &dg);
-                        let p = unflatten_like(&fp, &pg);
-                        d.iter().zip(&p).map(|(a, b)| a.add(b)).collect()
+                mf_telemetry::span!("train.step", epoch = epoch as f64);
+                let m = crate::step::train_metrics();
+                let _step_timer = m.step_us.time();
+                let (dg, pg, stats) = crate::step::local_gradients(&net, batch, cfg.pde_weight);
+                let mut grads: Vec<Tensor> = {
+                    mf_telemetry::span!("train.sync");
+                    let _t = m.sync_us.time();
+                    match sync {
+                        GradSync::Fused => {
+                            let local: Vec<Tensor> =
+                                dg.iter().zip(&pg).map(|(a, b)| a.add(b)).collect();
+                            let mut flat = flatten(&local);
+                            comm.allreduce_mean(&mut flat);
+                            unflatten_like(&flat, &local)
+                        }
+                        GradSync::PerLoss => {
+                            let mut fd = flatten(&dg);
+                            comm.allreduce_mean(&mut fd);
+                            let mut fp = flatten(&pg);
+                            comm.allreduce_mean(&mut fp);
+                            let d = unflatten_like(&fd, &dg);
+                            let p = unflatten_like(&fp, &pg);
+                            d.iter().zip(&p).map(|(a, b)| a.add(b)).collect()
+                        }
                     }
                 };
                 if let Some(max) = cfg.clip_norm {
                     mf_opt::clip_grad_norm(&mut grads, max);
                 }
-                opt.step_net(&mut net, &grads, lr);
+                {
+                    mf_telemetry::span!("train.opt");
+                    let _t = m.opt_us.time();
+                    opt.step_net(&mut net, &grads, lr);
+                }
                 dl += stats.data_loss;
                 pl += stats.pde_loss;
                 global_step += 1;
@@ -264,12 +286,19 @@ pub fn train_ddp(
                 });
             }
         }
+        if mf_telemetry::metrics_report_enabled() {
+            mf_dist::print_merged_report(comm);
+        }
         (net.params.flatten(), logs, comm.stats())
     });
 
     let comm_stats = results.iter().map(|(_, _, s)| *s).collect();
     let (params_flat, logs, _) = results.into_iter().next().unwrap();
-    DdpResult { params_flat, logs, comm_stats }
+    DdpResult {
+        params_flat,
+        logs,
+        comm_stats,
+    }
 }
 
 fn flatten(grads: &[Tensor]) -> Vec<f64> {
@@ -285,7 +314,11 @@ fn unflatten_like(flat: &[f64], like: &[Tensor]) -> Vec<Tensor> {
     let mut off = 0;
     for t in like {
         let n = t.numel();
-        out.push(Tensor::from_vec(t.rows(), t.cols(), flat[off..off + n].to_vec()));
+        out.push(Tensor::from_vec(
+            t.rows(),
+            t.cols(),
+            flat[off..off + n].to_vec(),
+        ));
         off += n;
     }
     out
@@ -329,7 +362,9 @@ mod tests {
     #[test]
     fn single_device_training_reduces_validation_mse() {
         let spec = SubdomainSpec { m: 9, spatial: 0.5 };
-        let ds = Dataset::generate(spec, 10, 0);
+        // 16 samples (12 train / 4 val) keep the validation signal stable;
+        // with only 2 validation samples the MSE is too noisy to assert on.
+        let ds = Dataset::generate(spec, 16, 2);
         let (train, val) = ds.split(0.8);
         let mut net = tiny_net(0, spec.boundary_len());
         let before = evaluate_mse(&net, &val);

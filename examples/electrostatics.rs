@@ -39,8 +39,11 @@ fn main() {
 
     // Reference solution.
     let guess = grid_with_boundary(domain.ny(), domain.nx(), &bc);
-    let (reference, stats) =
-        solve_dirichlet(&Poisson::laplace(domain.ny(), domain.nx(), domain.h()), &guess, 1e-9);
+    let (reference, stats) = solve_dirichlet(
+        &Poisson::laplace(domain.ny(), domain.nx(), domain.h()),
+        &guess,
+        1e-9,
+    );
     assert!(stats.converged);
 
     let oracle = OracleSolver::new(spec, 1e-8);
@@ -50,14 +53,26 @@ fn main() {
     let t0 = Instant::now();
     let unbatched = mfp.run(
         &bc,
-        &MfpConfig { max_iters: iters, tol: 0.0, batched: false, target: None, coarse_init: false },
+        &MfpConfig {
+            max_iters: iters,
+            tol: 0.0,
+            batched: false,
+            target: None,
+            coarse_init: false,
+        },
     );
     let t_unbatched = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
     let batched = mfp.run(
         &bc,
-        &MfpConfig { max_iters: iters, tol: 0.0, batched: true, target: None, coarse_init: false },
+        &MfpConfig {
+            max_iters: iters,
+            tol: 0.0,
+            batched: true,
+            target: None,
+            coarse_init: false,
+        },
     );
     let t_batched = t1.elapsed().as_secs_f64();
 
@@ -72,7 +87,10 @@ fn main() {
         t_batched,
         1e3 * t_batched / iters as f64
     );
-    println!("  results identical: {}", batched.grid.allclose(&unbatched.grid, 1e-12));
+    println!(
+        "  results identical: {}",
+        batched.grid.allclose(&unbatched.grid, 1e-12)
+    );
 
     println!(
         "\nMAE vs multigrid reference: {:.6}",
@@ -81,8 +99,13 @@ fn main() {
 
     // The exact solution of this BVP is the linear potential ramp — a
     // strong analytic cross-check.
-    let exact = Tensor::from_fn(domain.ny(), domain.nx(), |_, i| 1.0 - 2.0 * i as f64 / width);
-    println!("MAE vs analytic linear ramp: {:.6}", batched.grid.mean_abs_diff(&exact));
+    let exact = Tensor::from_fn(domain.ny(), domain.nx(), |_, i| {
+        1.0 - 2.0 * i as f64 / width
+    });
+    println!(
+        "MAE vs analytic linear ramp: {:.6}",
+        batched.grid.mean_abs_diff(&exact)
+    );
 
     // Field strength |E| = |∇u| at the channel center, via central
     // differences on the recovered potential.

@@ -28,7 +28,10 @@ fn main() {
     let spec = SubdomainSpec { m: 9, spatial: 0.5 };
     let domain = DomainSpec::new(spec, 4, 2); // 2x1 spatial units
     let (ny, nx, h) = (domain.ny(), domain.nx(), domain.h());
-    println!("heat equation on a {}x{} plate ({}x{} grid)", 2.0, 1.0, nx, ny);
+    println!(
+        "heat equation on a {}x{} plate ({}x{} grid)",
+        2.0, 1.0, nx, ny
+    );
 
     // Initial condition: two Gaussian hot blobs; walls held at 0.
     let blob = |x: f64, y: f64, cx: f64, cy: f64, w: f64| {
@@ -55,7 +58,11 @@ fn main() {
     let bc = Tensor::zeros(1, domain.boundary_len());
     let oracle = OracleSolver::new(spec, 1e-10);
     let mfp = Mfp::new(&oracle, domain);
-    let cfg = MfpConfig { max_iters: 400, tol: 1e-8, ..Default::default() };
+    let cfg = MfpConfig {
+        max_iters: 400,
+        tol: 1e-8,
+        ..Default::default()
+    };
 
     println!("\nimplicit Euler, dt = {dt}, sigma = {sigma:.0}");
     println!("step   t      max(u)   energy     Schwarz iters  MAE vs direct solve");
@@ -95,7 +102,14 @@ fn main() {
     let gp_like = mosaic_flow::numerics::boundary::boundary_from_fn(ny, nx, |t| {
         (2.0 * std::f64::consts::PI * t).sin()
     });
-    let steady = mfp.run(&gp_like, &MfpConfig { max_iters: 2000, tol: 1e-8, ..Default::default() });
+    let steady = mfp.run(
+        &gp_like,
+        &MfpConfig {
+            max_iters: 2000,
+            tol: 1e-8,
+            ..Default::default()
+        },
+    );
     println!(
         "\nfor scale: a steady Laplace solve on this domain needs {} iterations",
         steady.iterations

@@ -33,8 +33,8 @@ fn main() {
     // edge (the walk starts at the bottom-left corner, so the bottom edge
     // occupies the first quarter-ish of the parameter range).
     let params = boundary_params(domain.ny(), domain.nx());
-    let bottom_frac = (domain.nx() - 1) as f64
-        / (2 * (domain.nx() - 1) + 2 * (domain.ny() - 1)) as f64;
+    let bottom_frac =
+        (domain.nx() - 1) as f64 / (2 * (domain.nx() - 1) + 2 * (domain.ny() - 1)) as f64;
     let bump = |t: f64, c: f64, w: f64| (-((t - c) * (t - c)) / (2.0 * w * w)).exp();
     let values: Vec<f64> = params
         .iter()
@@ -51,8 +51,11 @@ fn main() {
 
     // Reference: global multigrid solve.
     let guess = grid_with_boundary(domain.ny(), domain.nx(), &bc);
-    let (reference, stats) =
-        solve_dirichlet(&Poisson::laplace(domain.ny(), domain.nx(), domain.h()), &guess, 1e-9);
+    let (reference, stats) = solve_dirichlet(
+        &Poisson::laplace(domain.ny(), domain.nx(), domain.h()),
+        &guess,
+        1e-9,
+    );
     assert!(stats.converged);
 
     // Distributed MFP on 4 simulated devices (2x2 processor grid).
@@ -63,13 +66,20 @@ fn main() {
         &domain,
         &bc,
         ranks,
-        &DistMfpConfig { max_iters: 800, tol: 1e-7, ..Default::default() },
+        &DistMfpConfig {
+            max_iters: 800,
+            tol: 1e-7,
+            ..Default::default()
+        },
     );
     println!(
         "\ndistributed MFP on {ranks} ranks: {} iterations, converged = {}",
         result.iterations, result.converged
     );
-    println!("MAE vs multigrid reference: {:.6}", result.grid.mean_abs_diff(&reference));
+    println!(
+        "MAE vs multigrid reference: {:.6}",
+        result.grid.mean_abs_diff(&reference)
+    );
 
     // Per-rank accounting + the paper's alpha-beta model for an A30
     // cluster.

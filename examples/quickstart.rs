@@ -15,12 +15,21 @@ use rand_chacha::ChaCha8Rng;
 fn main() {
     // 1. Geometry: SDNet is trained on 0.5x0.5 subdomains with a 9x9 grid.
     let spec = SubdomainSpec { m: 9, spatial: 0.5 };
-    println!("subdomain: {}x{} points, boundary walk {}", spec.m, spec.m, spec.boundary_len());
+    println!(
+        "subdomain: {}x{} points, boundary walk {}",
+        spec.m,
+        spec.m,
+        spec.boundary_len()
+    );
 
     // 2. Data: GP boundary conditions solved with multigrid (our pyAMG).
     let dataset = Dataset::generate(spec, 160, 42);
     let (train, val) = dataset.split(0.9);
-    println!("dataset: {} train / {} validation samples", train.len(), val.len());
+    println!(
+        "dataset: {} train / {} validation samples",
+        train.len(),
+        val.len()
+    );
 
     // 3. Model: conv boundary embedding + input-split layer + GELU MLP.
     let mut config = SdNetConfig::small(spec.boundary_len());
@@ -38,14 +47,21 @@ fn main() {
         qd: 48,
         qc: 16,
         pde_weight: 0.02,
-        schedule: LrSchedule { max_lr: 8e-3, ..LrSchedule::paper_default(steps) },
+        schedule: LrSchedule {
+            max_lr: 8e-3,
+            ..LrSchedule::paper_default(steps)
+        },
         opt: OptKind::Adam,
         seed: 0,
         clip_norm: None,
     };
     println!("training for {epochs} epochs ...");
     let logs = train_single(&mut net, &train, &val, &cfg);
-    for log in logs.iter().step_by(12).chain(std::iter::once(logs.last().unwrap())) {
+    for log in logs
+        .iter()
+        .step_by(12)
+        .chain(std::iter::once(logs.last().unwrap()))
+    {
         println!(
             "  epoch {:3}  data loss {:.4}  pde loss {:.5}  val MSE {:.5}",
             log.epoch, log.data_loss, log.pde_loss, log.val_mse
@@ -60,14 +76,24 @@ fn main() {
 
     // Ground truth from a global multigrid solve.
     let guess = grid_with_boundary(domain.ny(), domain.nx(), &bc);
-    let (reference, stats) =
-        solve_dirichlet(&Poisson::laplace(domain.ny(), domain.nx(), domain.h()), &guess, 1e-9);
+    let (reference, stats) = solve_dirichlet(
+        &Poisson::laplace(domain.ny(), domain.nx(), domain.h()),
+        &guess,
+        1e-9,
+    );
     assert!(stats.converged);
 
     // Mosaic Flow predictor with the freshly trained network.
     let solver = NeuralSolver::new(net, spec);
     let mfp = Mfp::new(&solver, domain);
-    let result = mfp.run(&bc, &MfpConfig { max_iters: 300, tol: 1e-5, ..Default::default() });
+    let result = mfp.run(
+        &bc,
+        &MfpConfig {
+            max_iters: 300,
+            tol: 1e-5,
+            ..Default::default()
+        },
+    );
     let mae_net = result.grid.mean_abs_diff(&reference);
     println!(
         "\nMFP + trained SDNet : {} iterations, MAE vs multigrid = {:.4}",
@@ -76,8 +102,14 @@ fn main() {
 
     // Same predictor with the numerical oracle, for calibration.
     let oracle = OracleSolver::new(spec, 1e-9);
-    let result_oracle = Mfp::new(&oracle, domain)
-        .run(&bc, &MfpConfig { max_iters: 300, tol: 1e-7, ..Default::default() });
+    let result_oracle = Mfp::new(&oracle, domain).run(
+        &bc,
+        &MfpConfig {
+            max_iters: 300,
+            tol: 1e-7,
+            ..Default::default()
+        },
+    );
     let mae_oracle = result_oracle.grid.mean_abs_diff(&reference);
     println!(
         "MFP + oracle solver : {} iterations, MAE vs multigrid = {:.6}",

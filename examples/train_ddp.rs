@@ -32,7 +32,10 @@ fn main() {
         qd: 32,
         qc: 8,
         pde_weight: 0.02,
-        schedule: LrSchedule { max_lr: 4e-3, ..LrSchedule::paper_default(epochs * 20) },
+        schedule: LrSchedule {
+            max_lr: 4e-3,
+            ..LrSchedule::paper_default(epochs * 20)
+        },
         opt: OptKind::Lamb(0.0),
         seed: 0,
         clip_norm: None,
@@ -55,8 +58,10 @@ fn main() {
 
     // Ablation: fused single allreduce (Algorithm 1) vs per-loss sync.
     println!("\ngradient sync ablation on 2 devices:");
-    for (name, sync) in [("fused (Algorithm 1)", GradSync::Fused), ("per-loss", GradSync::PerLoss)]
-    {
+    for (name, sync) in [
+        ("fused (Algorithm 1)", GradSync::Fused),
+        ("per-loss", GradSync::PerLoss),
+    ] {
         let res = train_ddp(2, &template, &train, &val, &cfg, sync);
         println!(
             "  {:20}  val MSE {:.5}  msgs/rank {:6}  bytes/rank {}",

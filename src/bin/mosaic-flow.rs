@@ -12,6 +12,15 @@
 //! `solve` prints convergence info and the MAE against a direct multigrid
 //! reference; `--out` writes the dense solution grid as CSV (row 0 =
 //! bottom edge).
+//!
+//! Observability flags (any subcommand):
+//!
+//! * `--metrics` — print a telemetry summary to stderr at exit;
+//!   distributed regions (`--ranks P`, `--devices P`) print one report
+//!   merged across ranks.
+//! * `--trace PATH` — record spans and write a Chrome `trace_event` JSON
+//!   file (open in `chrome://tracing` / Perfetto); a `.jsonl` suffix
+//!   selects the JSON-Lines format instead.
 
 use mosaic_flow::numerics::boundary::boundary_from_fn;
 use mosaic_flow::prelude::*;
@@ -43,7 +52,10 @@ fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
 }
 
 fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
-    flags.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    flags
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn usage() -> ExitCode {
@@ -54,7 +66,11 @@ fn usage() -> ExitCode {
          info  --model model.mfn\n\
          eval  --model model.mfn [--samples 20] [--seed 1]\n\
          solve --domain SXxSY [--model model.mfn | --oracle] [--boundary sin|gp:SEED]\n\
-               [--ranks P] [--coarse-init] [--out grid.csv]"
+               [--ranks P] [--coarse-init] [--out grid.csv]\n\
+         \n\
+         observability (any subcommand):\n\
+           --metrics        print a telemetry summary to stderr at exit\n\
+           --trace PATH     write a Chrome trace_event JSON (.jsonl for JSON-Lines)"
     );
     ExitCode::FAILURE
 }
@@ -85,8 +101,15 @@ fn cmd_train(flags: &HashMap<String, String>) -> ExitCode {
         qd: 48,
         qc: 16,
         pde_weight: 0.02,
-        schedule: LrSchedule { max_lr: 8e-3, ..LrSchedule::paper_default(steps) },
-        opt: if devices > 1 { OptKind::Lamb(0.0) } else { OptKind::Adam },
+        schedule: LrSchedule {
+            max_lr: 8e-3,
+            ..LrSchedule::paper_default(steps)
+        },
+        opt: if devices > 1 {
+            OptKind::Lamb(0.0)
+        } else {
+            OptKind::Adam
+        },
         seed,
         clip_norm: None,
     };
@@ -120,9 +143,19 @@ fn cmd_info(flags: &HashMap<String, String>) -> ExitCode {
         Ok(net) => {
             let c = net.config();
             println!("SDNet model: {path}");
-            println!("  boundary walk : {} points (m = {})", c.boundary_len, c.boundary_len / 4 + 1);
-            println!("  conv embedding: {:?} channels, kernel {}", c.conv_channels, c.conv_kernel);
-            println!("  trunk         : {:?} ({:?}, {:?} embedding)", c.hidden, c.activation, c.embedding);
+            println!(
+                "  boundary walk : {} points (m = {})",
+                c.boundary_len,
+                c.boundary_len / 4 + 1
+            );
+            println!(
+                "  conv embedding: {:?} channels, kernel {}",
+                c.conv_channels, c.conv_kernel
+            );
+            println!(
+                "  trunk         : {:?} ({:?}, {:?} embedding)",
+                c.hidden, c.activation, c.embedding
+            );
             println!("  coord extent  : {}", c.coord_extent);
             println!("  parameters    : {}", net.count_params());
             ExitCode::SUCCESS
@@ -149,17 +182,28 @@ fn cmd_eval(flags: &HashMap<String, String>) -> ExitCode {
         }
     };
     let m = net.config().boundary_len / 4 + 1;
-    let spec = SubdomainSpec { m, spatial: net.config().coord_extent };
+    let spec = SubdomainSpec {
+        m,
+        spatial: net.config().coord_extent,
+    };
     let ds = Dataset::generate(spec, samples, seed);
-    println!("val MSE on {} fresh samples: {:.6}", samples, evaluate_mse(&net, &ds));
+    println!(
+        "val MSE on {} fresh samples: {:.6}",
+        samples,
+        evaluate_mse(&net, &ds)
+    );
     ExitCode::SUCCESS
 }
 
 fn cmd_solve(flags: &HashMap<String, String>) -> ExitCode {
-    let domain_str = flags.get("domain").cloned().unwrap_or_else(|| "2x1".to_string());
-    let Some((sx, sy)) = domain_str.split_once('x').and_then(|(a, b)| {
-        Some((a.parse::<usize>().ok()?, b.parse::<usize>().ok()?))
-    }) else {
+    let domain_str = flags
+        .get("domain")
+        .cloned()
+        .unwrap_or_else(|| "2x1".to_string());
+    let Some((sx, sy)) = domain_str
+        .split_once('x')
+        .and_then(|(a, b)| Some((a.parse::<usize>().ok()?, b.parse::<usize>().ok()?)))
+    else {
         eprintln!("solve: --domain must look like 4x2 (atomic subdomains)");
         return ExitCode::FAILURE;
     };
@@ -169,7 +213,7 @@ fn cmd_solve(flags: &HashMap<String, String>) -> ExitCode {
     // Solver selection.
     enum Chosen {
         Oracle(OracleSolver),
-        Neural(NeuralSolver),
+        Neural(Box<NeuralSolver>),
     }
     let (spec, chosen) = if let Some(path) = flags.get("model") {
         let net = match SdNet::load(path) {
@@ -180,8 +224,11 @@ fn cmd_solve(flags: &HashMap<String, String>) -> ExitCode {
             }
         };
         let m = net.config().boundary_len / 4 + 1;
-        let spec = SubdomainSpec { m, spatial: net.config().coord_extent };
-        (spec, Chosen::Neural(NeuralSolver::new(net, spec)))
+        let spec = SubdomainSpec {
+            m,
+            spatial: net.config().coord_extent,
+        };
+        (spec, Chosen::Neural(Box::new(NeuralSolver::new(net, spec))))
     } else {
         let m: usize = get(flags, "m", 9);
         let spec = SubdomainSpec { m, spatial: 0.5 };
@@ -189,14 +236,18 @@ fn cmd_solve(flags: &HashMap<String, String>) -> ExitCode {
     };
 
     let domain = DomainSpec::new(spec, sx, sy);
-    let boundary_str = flags.get("boundary").cloned().unwrap_or_else(|| "sin".to_string());
+    let boundary_str = flags
+        .get("boundary")
+        .cloned()
+        .unwrap_or_else(|| "sin".to_string());
     let bc = if let Some(seed) = boundary_str.strip_prefix("gp:") {
         let seed: u64 = seed.parse().unwrap_or(0);
-        let mut sampler =
-            BoundarySampler::new(domain.boundary_len(), (0.4, 0.8), (0.5, 1.0), true);
+        let mut sampler = BoundarySampler::new(domain.boundary_len(), (0.4, 0.8), (0.5, 1.0), true);
         sampler.sample(&mut ChaCha8Rng::seed_from_u64(seed))
     } else {
-        boundary_from_fn(domain.ny(), domain.nx(), |t| (2.0 * std::f64::consts::PI * t).sin())
+        boundary_from_fn(domain.ny(), domain.nx(), |t| {
+            (2.0 * std::f64::consts::PI * t).sin()
+        })
     };
 
     // Reference for the MAE report.
@@ -204,8 +255,11 @@ fn cmd_solve(flags: &HashMap<String, String>) -> ExitCode {
         use mosaic_flow::numerics::boundary::grid_with_boundary;
         use mosaic_flow::numerics::{solve_dirichlet, Poisson};
         let guess = grid_with_boundary(domain.ny(), domain.nx(), &bc);
-        let (sol, st) =
-            solve_dirichlet(&Poisson::laplace(domain.ny(), domain.nx(), domain.h()), &guess, 1e-9);
+        let (sol, st) = solve_dirichlet(
+            &Poisson::laplace(domain.ny(), domain.nx(), domain.h()),
+            &guess,
+            1e-9,
+        );
         if !st.converged {
             eprintln!("warning: reference solve did not fully converge");
         }
@@ -216,14 +270,24 @@ fn cmd_solve(flags: &HashMap<String, String>) -> ExitCode {
         (Chosen::Oracle(s), 1) => {
             let r = Mfp::new(s, domain).run(
                 &bc,
-                &MfpConfig { max_iters: 2000, tol: 1e-6, coarse_init, ..Default::default() },
+                &MfpConfig {
+                    max_iters: 2000,
+                    tol: 1e-6,
+                    coarse_init,
+                    ..Default::default()
+                },
             );
             (r.grid, r.iterations, r.converged)
         }
         (Chosen::Neural(s), 1) => {
-            let r = Mfp::new(s, domain).run(
+            let r = Mfp::new(s.as_ref(), domain).run(
                 &bc,
-                &MfpConfig { max_iters: 500, tol: 1e-5, coarse_init, ..Default::default() },
+                &MfpConfig {
+                    max_iters: 500,
+                    tol: 1e-5,
+                    coarse_init,
+                    ..Default::default()
+                },
             );
             (r.grid, r.iterations, r.converged)
         }
@@ -233,17 +297,27 @@ fn cmd_solve(flags: &HashMap<String, String>) -> ExitCode {
                 &domain,
                 &bc,
                 p,
-                &DistMfpConfig { max_iters: 2000, tol: 1e-6, coarse_init, ..Default::default() },
+                &DistMfpConfig {
+                    max_iters: 2000,
+                    tol: 1e-6,
+                    coarse_init,
+                    ..Default::default()
+                },
             );
             (r.grid, r.iterations, r.converged)
         }
         (Chosen::Neural(s), p) => {
             let r = run_distributed(
-                s,
+                s.as_ref(),
                 &domain,
                 &bc,
                 p,
-                &DistMfpConfig { max_iters: 500, tol: 1e-5, coarse_init, ..Default::default() },
+                &DistMfpConfig {
+                    max_iters: 500,
+                    tol: 1e-5,
+                    coarse_init,
+                    ..Default::default()
+                },
             );
             (r.grid, r.iterations, r.converged)
         }
@@ -259,7 +333,10 @@ fn cmd_solve(flags: &HashMap<String, String>) -> ExitCode {
         iterations,
         converged
     );
-    println!("MAE vs direct multigrid solve: {:.6}", grid.mean_abs_diff(&reference));
+    println!(
+        "MAE vs direct multigrid solve: {:.6}",
+        grid.mean_abs_diff(&reference)
+    );
 
     if let Some(out) = flags.get("out") {
         let mut csv = String::new();
@@ -277,14 +354,56 @@ fn cmd_solve(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Flush telemetry at process exit: print the main-thread metrics summary
+/// (distributed regions already print a merged per-rank report from inside
+/// the rank closures) and write the span trace if `--trace` was given.
+fn finish_telemetry(trace_path: Option<&str>) {
+    use mosaic_flow::telemetry as tel;
+    if tel::metrics_report_enabled() {
+        let snap = tel::snapshot();
+        // Distributed regions print a merged per-rank report from inside the
+        // rank closures; only add a main-thread report if it saw activity.
+        let active = snap.metrics.iter().any(|(_, v)| match v {
+            tel::MetricValue::Counter(c) => *c > 0,
+            tel::MetricValue::Gauge(g) => *g != 0.0,
+            tel::MetricValue::Histogram(h) => h.count > 0,
+        });
+        if active {
+            eprint!("{}", tel::render_report(std::slice::from_ref(&snap)));
+        }
+    }
+    let Some(path) = trace_path else { return };
+    tel::flush_thread();
+    let spans = tel::drain_spans();
+    let mut body = Vec::new();
+    let written = if path.ends_with(".jsonl") {
+        tel::write_jsonl(&spans, &mut body)
+    } else {
+        tel::write_chrome_trace(&spans, &mut body)
+    };
+    match written.and_then(|()| std::fs::write(path, body)) {
+        Ok(()) => eprintln!("wrote {} span(s) to {path}", spans.len()),
+        Err(e) => eprintln!("failed to write trace: {e}"),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (positional, flags) = parse_flags(&args);
-    match positional.first().map(String::as_str) {
+    let trace_path = flags.get("trace").cloned();
+    if trace_path.is_some() {
+        mosaic_flow::telemetry::set_tracing(true);
+    }
+    if flags.contains_key("metrics") {
+        mosaic_flow::telemetry::set_metrics_report(true);
+    }
+    let code = match positional.first().map(String::as_str) {
         Some("train") => cmd_train(&flags),
         Some("info") => cmd_info(&flags),
         Some("eval") => cmd_eval(&flags),
         Some("solve") => cmd_solve(&flags),
         _ => usage(),
-    }
+    };
+    finish_telemetry(trace_path.as_deref());
+    code
 }

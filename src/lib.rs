@@ -34,6 +34,7 @@ pub use mf_mfp as mfp;
 pub use mf_nn as nn;
 pub use mf_numerics as numerics;
 pub use mf_opt as opt;
+pub use mf_telemetry as telemetry;
 pub use mf_tensor as tensor;
 pub use mf_train as train;
 
@@ -44,14 +45,12 @@ pub mod prelude {
     pub use mf_dist::{CartesianGrid, Cluster, Communicator, PerfModel, RankOrder};
     pub use mf_gp::{BoundarySampler, Kernel1d, Sobol};
     pub use mf_mfp::{
-        run_distributed, DistMfpConfig, DomainSpec, Mfp, MfpConfig, NeuralSolver,
-        OracleSolver, SubdomainSolver,
+        run_distributed, DistMfpConfig, DomainSpec, Mfp, MfpConfig, NeuralSolver, OracleSolver,
+        SubdomainSolver,
     };
     pub use mf_nn::{Activation, EmbeddingKind, SdNet, SdNetConfig};
     pub use mf_opt::{Adam, AdamW, Lamb, LrSchedule, Optimizer, Sgd};
     pub use mf_tensor::Tensor;
-    pub use mf_train::{
-        evaluate_mse, train_ddp, train_single, GradSync, TrainConfig,
-    };
     pub use mf_train::trainer::OptKind;
+    pub use mf_train::{evaluate_mse, train_ddp, train_single, GradSync, TrainConfig};
 }

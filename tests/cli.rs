@@ -28,15 +28,29 @@ fn train_info_eval_solve_pipeline() {
     // Tiny training run — we only need a valid model file.
     let out = cli()
         .args([
-            "train", "--samples", "24", "--epochs", "2", "--m", "9", "--out",
+            "train",
+            "--samples",
+            "24",
+            "--epochs",
+            "2",
+            "--m",
+            "9",
+            "--out",
             model.to_str().unwrap(),
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(model.exists());
 
-    let out = cli().args(["info", "--model", model.to_str().unwrap()]).output().unwrap();
+    let out = cli()
+        .args(["info", "--model", model.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("parameters"), "info output: {stdout}");
@@ -62,7 +76,11 @@ fn train_info_eval_solve_pipeline() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "solve failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "solve failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let csv = std::fs::read_to_string(&grid).unwrap();
     // 2x1 atomic subdomains of m=9: 17 rows of 33 columns.
     let rows: Vec<&str> = csv.lines().collect();
@@ -76,10 +94,23 @@ fn train_info_eval_solve_pipeline() {
 #[test]
 fn solve_with_oracle_and_multiple_ranks() {
     let out = cli()
-        .args(["solve", "--domain", "2x2", "--ranks", "4", "--boundary", "gp:3", "--coarse-init"])
+        .args([
+            "solve",
+            "--domain",
+            "2x2",
+            "--ranks",
+            "4",
+            "--boundary",
+            "gp:3",
+            "--coarse-init",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("4 rank(s)"), "{stdout}");
     // The oracle solve must be accurate.
@@ -92,7 +123,10 @@ fn solve_with_oracle_and_multiple_ranks() {
 fn info_rejects_garbage_file() {
     let path = tmp("garbage.mfn");
     std::fs::write(&path, b"definitely not a model").unwrap();
-    let out = cli().args(["info", "--model", path.to_str().unwrap()]).output().unwrap();
+    let out = cli()
+        .args(["info", "--model", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let _ = std::fs::remove_file(&path);
 }

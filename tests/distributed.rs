@@ -13,15 +13,17 @@ fn spec() -> SubdomainSpec {
 
 fn gp_bc(domain: &DomainSpec, seed: u64) -> Tensor {
     use rand::SeedableRng;
-    let mut sampler =
-        BoundarySampler::new(domain.boundary_len(), (0.4, 0.8), (0.5, 1.0), true);
+    let mut sampler = BoundarySampler::new(domain.boundary_len(), (0.4, 0.8), (0.5, 1.0), true);
     sampler.sample(&mut rand_chacha::ChaCha8Rng::seed_from_u64(seed))
 }
 
 fn reference(domain: &DomainSpec, bc: &Tensor) -> Tensor {
     let guess = grid_with_boundary(domain.ny(), domain.nx(), bc);
-    let (sol, st) =
-        solve_dirichlet(&Poisson::laplace(domain.ny(), domain.nx(), domain.h()), &guess, 1e-9);
+    let (sol, st) = solve_dirichlet(
+        &Poisson::laplace(domain.ny(), domain.nx(), domain.h()),
+        &guess,
+        1e-9,
+    );
     assert!(st.converged);
     sol
 }
@@ -38,7 +40,11 @@ fn distributed_mfp_is_correct_for_1_2_4_8_ranks() {
             &domain,
             &bc,
             ranks,
-            &DistMfpConfig { max_iters: 800, tol: 1e-8, ..Default::default() },
+            &DistMfpConfig {
+                max_iters: 800,
+                tol: 1e-8,
+                ..Default::default()
+            },
         );
         assert!(res.converged, "P={ranks} did not converge");
         let mae = res.grid.mean_abs_diff(&refsol);
@@ -60,7 +66,11 @@ fn iteration_count_grows_mildly_with_rank_count() {
             &domain,
             &bc,
             ranks,
-            &DistMfpConfig { max_iters: 1500, tol: 1e-7, ..Default::default() },
+            &DistMfpConfig {
+                max_iters: 1500,
+                tol: 1e-7,
+                ..Default::default()
+            },
         );
         assert!(res.converged, "P={ranks} did not converge");
         res.iterations
@@ -90,7 +100,11 @@ fn halo_bytes_per_rank_shrink_with_more_ranks() {
             &domain,
             &bc,
             ranks,
-            &DistMfpConfig { max_iters: 5, tol: 0.0, ..Default::default() },
+            &DistMfpConfig {
+                max_iters: 5,
+                tol: 0.0,
+                ..Default::default()
+            },
         );
         // Interior ranks have the most neighbors; take the max of the
         // iteration-phase (halo) traffic only.
@@ -125,7 +139,11 @@ fn modeled_comm_time_matches_cost_formula_shape() {
         &domain,
         &bc,
         4,
-        &DistMfpConfig { max_iters: 20, tol: 0.0, ..Default::default() },
+        &DistMfpConfig {
+            max_iters: 20,
+            tol: 0.0,
+            ..Default::default()
+        },
     );
     // Measured-counter modeled time and the closed-form §4.3 cost must
     // agree within an order of magnitude (the formula ignores edge ranks
@@ -181,7 +199,11 @@ fn boundary_condition_is_exact_in_distributed_result() {
         &domain,
         &bc,
         4,
-        &DistMfpConfig { max_iters: 50, tol: 0.0, ..Default::default() },
+        &DistMfpConfig {
+            max_iters: 50,
+            tol: 0.0,
+            ..Default::default()
+        },
     );
     let coords = boundary_coords(domain.ny(), domain.nx());
     for (k, &(j, i)) in coords.iter().enumerate() {

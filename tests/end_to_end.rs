@@ -18,7 +18,10 @@ fn trained_net(spec: SubdomainSpec, train: &Dataset, val: &Dataset, epochs: usiz
         qd: 32,
         qc: 8,
         pde_weight: 0.02,
-        schedule: LrSchedule { max_lr: 6e-3, ..LrSchedule::paper_default(epochs * 10) },
+        schedule: LrSchedule {
+            max_lr: 6e-3,
+            ..LrSchedule::paper_default(epochs * 10)
+        },
         opt: OptKind::Adam,
         seed: 0,
         clip_norm: None,
@@ -38,14 +41,23 @@ fn trained_sdnet_beats_untrained_as_mfp_subdomain_solver() {
     let mut sampler = BoundarySampler::new(domain.boundary_len(), (0.5, 0.9), (0.4, 0.8), true);
     let bc = sampler.sample(&mut ChaCha8Rng::seed_from_u64(5));
     let guess = grid_with_boundary(domain.ny(), domain.nx(), &bc);
-    let (reference, st) =
-        solve_dirichlet(&Poisson::laplace(domain.ny(), domain.nx(), domain.h()), &guess, 1e-9);
+    let (reference, st) = solve_dirichlet(
+        &Poisson::laplace(domain.ny(), domain.nx(), domain.h()),
+        &guess,
+        1e-9,
+    );
     assert!(st.converged);
 
     let run_mae = |net: SdNet| {
         let solver = NeuralSolver::new(net, spec);
-        let res = Mfp::new(&solver, domain)
-            .run(&bc, &MfpConfig { max_iters: 120, tol: 1e-5, ..Default::default() });
+        let res = Mfp::new(&solver, domain).run(
+            &bc,
+            &MfpConfig {
+                max_iters: 120,
+                tol: 1e-5,
+                ..Default::default()
+            },
+        );
         res.grid.mean_abs_diff(&reference)
     };
 
@@ -83,7 +95,14 @@ fn oracle_mfp_matches_global_multigrid_on_gp_boundaries() {
             1e-9,
         );
         assert!(st.converged);
-        let res = mfp.run(&bc, &MfpConfig { max_iters: 600, tol: 1e-8, ..Default::default() });
+        let res = mfp.run(
+            &bc,
+            &MfpConfig {
+                max_iters: 600,
+                tol: 1e-8,
+                ..Default::default()
+            },
+        );
         assert!(res.converged, "trial {trial} did not converge");
         let mae = res.grid.mean_abs_diff(&reference);
         assert!(mae < 5e-4, "trial {trial}: MAE {mae}");
@@ -113,7 +132,10 @@ fn ddp_trained_model_is_identical_across_sync_strategies() {
     let fused = train_ddp(2, &template, &train, &val, &cfg, GradSync::Fused);
     let perloss = train_ddp(2, &template, &train, &val, &cfg, GradSync::PerLoss);
     for (a, b) in fused.params_flat.iter().zip(&perloss.params_flat) {
-        assert!((a - b).abs() < 1e-10, "sync strategies diverged: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-10,
+            "sync strategies diverged: {a} vs {b}"
+        );
     }
     // But the fused variant used (almost exactly) half the gradient
     // allreduce volume; the small remainder is the per-epoch batch-count

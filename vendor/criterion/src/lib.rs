@@ -1,0 +1,267 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `sample_size`/`throughput`/`bench_function`/`bench_with_input`, and
+//! `Bencher::iter` — over a simple wall-clock harness: a short warmup,
+//! then `sample_size` timed samples with an iteration count calibrated
+//! so each sample runs at least ~2 ms. Reports median, mean ± stddev,
+//! and derived throughput. No HTML reports or statistical regression
+//! testing; output goes to stdout.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: a function name plus an optional parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (the group name provides the prefix).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Units processed per iteration, used to derive throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: one untimed run, then grow the per-sample iteration
+        // count until a sample takes at least ~2 ms.
+        let t0 = Instant::now();
+        black_box(f());
+        let est = t0.elapsed().as_secs_f64().max(1e-9);
+        self.iters_per_sample = ((2e-3 / est).ceil() as u64).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples
+                .push(t0.elapsed().as_secs_f64() / self.iters_per_sample as f64);
+        }
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Benchmark a closure that receives `input` by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        if b.samples.is_empty() {
+            println!("{}/{id}: no samples recorded", self.name);
+            return;
+        }
+        let mut sorted = b.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+        let var = b
+            .samples
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / b.samples.len() as f64;
+        let sd = var.sqrt();
+        let thrpt = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  thrpt: {}", fmt_rate(n as f64 / median, "elem"))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  thrpt: {}", fmt_rate(n as f64 / median, "B"))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{id:<28} time: [{} {} ± {}]{thrpt}",
+            self.name,
+            fmt_time(median),
+            fmt_time(mean),
+            fmt_time(sd),
+        );
+    }
+
+    /// End the group (criterion compatibility; reports are printed as
+    /// benches run).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(id.to_string())
+            .sample_size(10)
+            .bench_function("run", f);
+        self
+    }
+}
+
+/// Bundle bench functions into a callable group, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub_smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(64));
+        g.bench_with_input(BenchmarkId::new("sum", 64), &64usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>());
+        });
+        g.finish();
+    }
+
+    criterion_group!(smoke, trivial_bench);
+
+    #[test]
+    fn harness_runs_and_records_samples() {
+        smoke();
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            sample_size: 5,
+        };
+        b.iter(|| black_box(1 + 1));
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+}

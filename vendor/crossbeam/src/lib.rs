@@ -1,0 +1,108 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the `channel` module surface the workspace uses (`unbounded`,
+//! `Sender`, `Receiver`), implemented over `std::sync::mpsc`. The std
+//! channel is MPSC, which matches how the simulated cluster uses it: many
+//! cloned senders feed the single receiver owned by each rank.
+
+pub mod channel {
+    //! Unbounded channels with crossbeam's naming.
+
+    use std::sync::mpsc;
+
+    /// Error returned when the receiving end has been dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned when all senders have been dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// The sending half; clonable so every rank can hold one per peer.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `value`; fails only if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving half.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives; fails when every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive: `None` when the queue is currently empty
+        /// or disconnected.
+        pub fn try_recv(&self) -> Option<T> {
+            self.0.try_recv().ok()
+        }
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn fifo_roundtrip_across_threads() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            s.spawn(move || {
+                for i in 100..200 {
+                    tx2.send(i).unwrap();
+                }
+            });
+            let got: Vec<i32> = (0..200).map(|_| rx.recv().unwrap()).collect();
+            // Per-sender FIFO: the subsequences from each sender are ordered.
+            let a: Vec<i32> = got.iter().copied().filter(|v| *v < 100).collect();
+            let b: Vec<i32> = got.iter().copied().filter(|v| *v >= 100).collect();
+            assert_eq!(a, (0..100).collect::<Vec<_>>());
+            assert_eq!(b, (100..200).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn recv_fails_after_senders_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the parallel-iterator subset this workspace uses —
+//! `par_chunks_mut(..).enumerate().for_each(..)` on mutable slices and
+//! `into_par_iter().map(..).collect()` on vectors — with scoped OS
+//! threads. When the host reports a single core (the common case for
+//! this reproduction's environment), work runs inline with zero thread
+//! overhead, preserving rayon's semantics either way.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to fan out across.
+fn workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+pub mod prelude {
+    //! Import-everything module mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+/// `par_chunks_mut` provider for mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into mutable chunks of `size` elements (last may be
+    /// shorter), to be consumed in parallel.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "par_chunks_mut: chunk size must be positive");
+        ParChunksMut {
+            chunks: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+/// Parallel iterator over mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair every chunk with its index.
+    pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+        EnumerateChunksMut {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Apply `f` to every chunk, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated parallel iterator over mutable chunks.
+pub struct EnumerateChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> EnumerateChunksMut<'a, T> {
+    /// Apply `f` to every `(index, chunk)` pair, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        run_indexed(self.chunks, &f);
+    }
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// The produced iterator type.
+    type Iter;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+/// Parallel iterator over an owned vector.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> VecParIter<T> {
+    /// Parallel map.
+    pub fn map<R, F>(self, f: F) -> MapParIter<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        MapParIter {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Apply `f` to every element, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let f = &f;
+        run_indexed_map(self.items, move |_, item| f(item));
+    }
+}
+
+/// Result of [`VecParIter::map`].
+pub struct MapParIter<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> MapParIter<T, F> {
+    /// Evaluate the map in parallel and collect, preserving input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: From<Vec<R>>,
+    {
+        let f = self.f;
+        let out = run_indexed_map(self.items, |_, item| f(item));
+        C::from(out)
+    }
+}
+
+/// Run `f` over `(index, item)` pairs, fanning out across threads;
+/// returns results in input order.
+fn run_indexed_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(usize, T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let threads = workers().min(n.max(1));
+    if threads <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    // Deal items round-robin so uneven per-item cost balances out.
+    let mut queues: Vec<Vec<(usize, T)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        queues[i % threads].push((i, item));
+    }
+    let f = &f;
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = queues
+            .into_iter()
+            .map(|q| {
+                scope.spawn(move || {
+                    q.into_iter()
+                        .map(|(i, item)| (i, f(i, item)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon stub worker panicked"))
+            .collect()
+    });
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Like [`run_indexed_map`] but for side-effecting consumers of
+/// enumerated mutable chunks.
+fn run_indexed<T: Send>(chunks: Vec<T>, f: &(impl Fn((usize, T)) + Sync)) {
+    let n = chunks.len();
+    let threads = workers().min(n.max(1));
+    if threads <= 1 {
+        for (i, c) in chunks.into_iter().enumerate() {
+            f((i, c));
+        }
+        return;
+    }
+    let mut queues: Vec<Vec<(usize, T)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, c) in chunks.into_iter().enumerate() {
+        queues[i % threads].push((i, c));
+    }
+    std::thread::scope(|scope| {
+        for q in queues {
+            scope.spawn(move || {
+                for (i, c) in q {
+                    f((i, c));
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_touches_every_chunk_once() {
+        let mut data = vec![0usize; 37];
+        data.par_chunks_mut(5).enumerate().for_each(|(i, chunk)| {
+            for v in chunk {
+                *v = i + 1;
+            }
+        });
+        // 37 = 7 chunks of 5 plus one of 2.
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[36], 8);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out: Vec<usize> = items.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+}
