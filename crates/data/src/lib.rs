@@ -15,5 +15,5 @@
 mod batch;
 mod dataset;
 
-pub use batch::{Batch, BatchSampler};
+pub use batch::{Batch, BatchSampler, SamplerState};
 pub use dataset::{Dataset, Sample, SubdomainSpec};

@@ -1,17 +1,44 @@
 //! Ranks-as-threads cluster with MPI-flavored point-to-point and
-//! collective operations.
+//! collective operations, hardened by the `mf-faultsim` layer
+//! ([`crate::fault`]): every link carries sequence numbers, receivers
+//! deduplicate and reorder, lost messages are recovered from a
+//! retransmit log, and rank death surfaces as a typed error instead of a
+//! deadlock.
 
+use crate::fault::{
+    lock_robust, ClusterError, CommError, FaultBarrier, FaultCounters, FaultPlan, FaultState,
+};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use mf_telemetry::{counter, gauge, histogram, span, Buckets, Counter, Gauge, Histogram};
-use std::sync::{Arc, Barrier};
-use std::time::Instant;
+use std::collections::{BTreeMap, HashSet};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// A tagged message between ranks.
+/// Poll interval of blocked receives and barrier waits: how often a
+/// waiter re-checks the rank-failure flags.
+const TICK: Duration = Duration::from_millis(5);
+
+/// A tagged, per-link-sequenced message between ranks.
 #[derive(Clone, Debug)]
 struct Message {
     src: usize,
+    /// Position in the src→dst link's send order; receivers deliver in
+    /// `seq` order and drop duplicates.
+    seq: u64,
     tag: u64,
     payload: Vec<f64>,
+}
+
+/// Per-source reorder window: messages are handed to tag matching in
+/// exact send (`seq`) order, so fault recovery preserves the lossless
+/// cluster's per-link FIFO semantics bit-for-bit.
+struct Reorder {
+    /// Next sequence number to deliver.
+    next: u64,
+    /// Out-of-order arrivals waiting for the gap to fill.
+    held: BTreeMap<u64, Message>,
 }
 
 /// Communication counters for one rank.
@@ -19,6 +46,11 @@ struct Message {
 /// `comm_seconds` is wall time spent inside blocking communication calls.
 /// On a single-core host the interesting outputs are `msgs_*`/`bytes_*`,
 /// which feed the [`PerfModel`](crate::PerfModel).
+///
+/// Counters track *logical* traffic: a send is counted once even if the
+/// fault layer drops, duplicates, or retransmits it, so a run under
+/// `drop_rate = 0` counts exactly like the lossless cluster. Injected
+/// faults are visible in the `fault.*` telemetry counters instead.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct CommStats {
     /// Point-to-point messages sent (collectives count their internal
@@ -85,8 +117,15 @@ pub struct Communicator {
     senders: Vec<Sender<Message>>,
     receiver: Receiver<Message>,
     pending: Vec<Message>,
-    barrier: Arc<Barrier>,
+    barrier: Arc<FaultBarrier>,
+    faults: Arc<FaultState>,
+    /// Per-source dedup/reorder windows.
+    reorder: Vec<Reorder>,
+    /// `(src, tag)` pairs abandoned by a deadline receive; late arrivals
+    /// are acknowledged and discarded instead of polluting `pending`.
+    tombstones: HashSet<(usize, u64)>,
     counters: CommCounters,
+    fcounters: FaultCounters,
     /// Registry values at thread start / last `reset_stats`; `stats()`
     /// reports the delta since then.
     baseline: CommStats,
@@ -100,13 +139,30 @@ impl Cluster {
     /// in rank order.
     ///
     /// Panics in any rank propagate (the whole run fails), mirroring an
-    /// MPI abort.
+    /// MPI abort. Unlike a bare thread join, a panicking rank does *not*
+    /// leave peers blocked in `recv` forever: the failure flag trips
+    /// every blocked wait within a poll tick, and the resulting panic
+    /// names the originating rank.
     pub fn run<T, F>(size: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(&mut Communicator) -> T + Send + Sync,
     {
-        assert!(size >= 1, "Cluster::run: need at least one rank");
+        match Self::try_run(size, FaultPlan::none(), f) {
+            Ok(outs) => outs,
+            Err(e) => panic!("cluster failed: {e}"),
+        }
+    }
+
+    /// Run `f` on `size` ranks under a [`FaultPlan`], collecting per-rank
+    /// results in rank order or a [`ClusterError`] naming every failed
+    /// rank (origin first) if any rank panicked or was crash-injected.
+    pub fn try_run<T, F>(size: usize, plan: FaultPlan, f: F) -> Result<Vec<T>, ClusterError>
+    where
+        T: Send,
+        F: Fn(&mut Communicator) -> T + Send + Sync,
+    {
+        assert!(size >= 1, "Cluster::try_run: need at least one rank");
         // Full mesh of channels: channel[dst] receives from anyone.
         let mut senders_per_dst = Vec::with_capacity(size);
         let mut receivers = Vec::with_capacity(size);
@@ -115,7 +171,8 @@ impl Cluster {
             senders_per_dst.push(tx);
             receivers.push(rx);
         }
-        let barrier = Arc::new(Barrier::new(size));
+        let barrier = Arc::new(FaultBarrier::new(size));
+        let faults = Arc::new(FaultState::new(size, plan));
 
         let mut comms: Vec<Communicator> = receivers
             .into_iter()
@@ -127,17 +184,27 @@ impl Cluster {
                 receiver,
                 pending: Vec::new(),
                 barrier: Arc::clone(&barrier),
+                faults: Arc::clone(&faults),
+                reorder: (0..size)
+                    .map(|_| Reorder {
+                        next: 0,
+                        held: BTreeMap::new(),
+                    })
+                    .collect(),
+                tombstones: HashSet::new(),
                 counters: CommCounters::new(),
+                fcounters: FaultCounters::new(),
                 baseline: CommStats::default(),
             })
             .collect();
         drop(senders_per_dst);
 
         let f = &f;
-        std::thread::scope(|scope| {
+        let outs: Vec<Option<T>> = std::thread::scope(|scope| {
             let handles: Vec<_> = comms
                 .iter_mut()
                 .map(|comm| {
+                    let faults = Arc::clone(&faults);
                     scope.spawn(move || {
                         // Metrics and spans are recorded into thread-local
                         // buffers; tag them with this rank and capture the
@@ -145,18 +212,54 @@ impl Cluster {
                         // Communicator was built on the spawning thread).
                         mf_telemetry::set_thread_rank(comm.rank);
                         comm.baseline = comm.counters.raw();
-                        let out = f(comm);
+                        let rank = comm.rank;
+                        let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(comm)));
                         mf_telemetry::flush_thread();
-                        out
+                        match out {
+                            Ok(v) => Some(v),
+                            Err(payload) => {
+                                faults.mark_failed(rank, panic_message(payload.as_ref()));
+                                None
+                            }
+                        }
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("rank panicked"))
+                .map(|h| h.join().unwrap_or(None))
                 .collect()
-        })
+        });
+
+        let failed = std::mem::take(&mut *lock_robust(&faults.panics));
+        if failed.is_empty() {
+            Ok(outs.into_iter().map(|o| o.expect("rank result")).collect())
+        } else {
+            Err(ClusterError { failed })
+        }
     }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// How long a receive is allowed to wait.
+enum WaitMode {
+    /// Wait indefinitely (lossless) or until the retry budget is spent
+    /// (lossy plan), recovering dropped messages from the retransmit log.
+    Block,
+    /// Wait until the deadline only, with no retransmission — the
+    /// degraded-halo path: if the data is not there in time, the caller
+    /// uses stale values instead.
+    Deadline(Instant),
 }
 
 impl Communicator {
@@ -168,6 +271,11 @@ impl Communicator {
     /// Number of ranks.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// The fault plan this cluster runs under.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults.plan
     }
 
     /// Counters accumulated since the rank thread started (or the last
@@ -197,56 +305,267 @@ impl Communicator {
         self.counters.comm_seconds.add(t0.elapsed().as_secs_f64());
     }
 
-    fn count_recv(&self, bytes: usize, t0: Instant) {
-        self.counters.msgs_recv.incr();
-        self.counters.bytes_recv.add(bytes as u64);
-        self.counters.comm_seconds.add(t0.elapsed().as_secs_f64());
-    }
-
     /// Send `payload` to `dst` with a user tag. Non-blocking (buffered).
+    ///
+    /// Under an active [`FaultPlan`] the transmission may be dropped,
+    /// duplicated, or delayed; the message is always appended to the
+    /// link's retransmit log first, so a receiver can recover it. Counted
+    /// once as a logical send regardless of injected faults.
     pub fn send(&mut self, dst: usize, tag: u64, payload: &[f64]) {
         assert!(dst < self.size, "send: destination {dst} out of range");
         let t0 = Instant::now();
-        self.senders[dst]
-            .send(Message {
-                src: self.rank,
-                tag,
-                payload: payload.to_vec(),
-            })
-            .expect("send: cluster torn down");
+        if let Some(crash) = self.faults.plan.crash {
+            if crash.rank == self.rank {
+                let issued = self.faults.sends_issued[self.rank].fetch_add(1, Ordering::SeqCst);
+                if issued >= crash.after_sends {
+                    panic!(
+                        "injected crash: rank {} after {} sends",
+                        self.rank, crash.after_sends
+                    );
+                }
+            }
+        }
+        let plan = &self.faults.plan;
+        // Log the message and draw the link's fault decisions under the
+        // link lock: the decision stream depends only on the seed and the
+        // link's send count, never on thread scheduling. Exactly four
+        // draws per send keep the stream aligned.
+        let (seq, dropped, duplicated, delay_us) = {
+            let mut link = self.faults.link(self.rank, dst, self.size);
+            let seq = link.next_seq;
+            link.next_seq += 1;
+            link.unacked.insert(seq, (tag, payload.to_vec()));
+            if plan.is_lossy() {
+                let d_drop = link.rng.unit();
+                let d_dup = link.rng.unit();
+                let d_delay = link.rng.unit();
+                let d_amount = link.rng.unit();
+                (
+                    seq,
+                    d_drop < plan.drop_rate,
+                    d_dup < plan.dup_rate,
+                    (d_delay < plan.delay_rate)
+                        .then_some((d_amount * plan.delay_max_us as f64) as u64),
+                )
+            } else {
+                (seq, false, false, None)
+            }
+        };
+        if let Some(us) = delay_us {
+            if us > 0 {
+                self.fcounters.delayed.incr();
+                std::thread::sleep(Duration::from_micros(us));
+            }
+        }
+        let msg = Message {
+            src: self.rank,
+            seq,
+            tag,
+            payload: payload.to_vec(),
+        };
+        if dropped {
+            self.fcounters.dropped.incr();
+        } else {
+            if duplicated {
+                self.fcounters.duplicated.incr();
+                let _ = self.senders[dst].send(msg.clone());
+            }
+            let _ = self.senders[dst].send(msg);
+        }
         self.count_sent(payload.len() * 8, t0);
     }
 
-    /// Blocking receive of the message with the given source and tag.
-    /// Other messages arriving first are buffered (MPI matching
-    /// semantics).
-    pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f64> {
-        let t0 = Instant::now();
-        // Check the out-of-order buffer first.
+    /// Acknowledge, deduplicate, and reorder one arriving transmission,
+    /// returning the messages that became deliverable (in `seq` order).
+    fn accept(&mut self, m: Message) -> Vec<Message> {
+        let src = m.src;
+        // Ack: the transmission reached us, drop it from the sender's
+        // retransmit log whether or not it turns out to be a duplicate.
+        lock_robust(&self.faults.links[src * self.size + self.rank])
+            .unacked
+            .remove(&m.seq);
+        let duplicate = {
+            let ro = &self.reorder[src];
+            m.seq < ro.next || ro.held.contains_key(&m.seq)
+        };
+        if duplicate {
+            self.fcounters.dedup_discarded.incr();
+            return Vec::new();
+        }
+        self.reorder[src].held.insert(m.seq, m);
+        let mut out = Vec::new();
+        loop {
+            let msg = {
+                let ro = &mut self.reorder[src];
+                match ro.held.remove(&ro.next) {
+                    Some(m) => {
+                        ro.next += 1;
+                        m
+                    }
+                    None => break,
+                }
+            };
+            if self.tombstones.contains(&(src, msg.tag)) {
+                continue;
+            }
+            self.counters.msgs_recv.incr();
+            self.counters.bytes_recv.add((msg.payload.len() * 8) as u64);
+            out.push(msg);
+        }
+        out
+    }
+
+    /// Replay the src→me retransmit log through the accept path (dedup
+    /// makes this idempotent), returning the payload if the wanted
+    /// message was among the recovered ones.
+    fn replay_unacked(&mut self, src: usize, tag: u64) -> Option<Vec<f64>> {
+        let entries: Vec<Message> = {
+            let link = self.faults.link(src, self.rank, self.size);
+            link.unacked
+                .iter()
+                .map(|(&seq, (t, p))| Message {
+                    src,
+                    seq,
+                    tag: *t,
+                    payload: p.clone(),
+                })
+                .collect()
+        };
+        let mut found = None;
+        for m in entries {
+            for m in self.accept(m) {
+                if found.is_none() && m.src == src && m.tag == tag {
+                    found = Some(m.payload);
+                } else {
+                    self.pending.push(m);
+                }
+            }
+        }
+        found
+    }
+
+    fn recv_inner(&mut self, src: usize, tag: u64, mode: WaitMode) -> Result<Vec<f64>, CommError> {
+        // Check the out-of-order buffer first. `remove` (not
+        // `swap_remove`): the buffer may hold several messages with the
+        // same (src, tag) when a peer runs a collective ahead, and they
+        // must keep arriving in seq order.
         if let Some(pos) = self
             .pending
             .iter()
             .position(|m| m.src == src && m.tag == tag)
         {
-            let m = self.pending.swap_remove(pos);
-            self.count_recv(m.payload.len() * 8, t0);
-            return m.payload;
+            return Ok(self.pending.remove(pos).payload);
         }
+        let lossy = self.faults.plan.is_lossy();
+        let retry = self.faults.plan.retry;
+        let mut retries = 0usize;
+        let mut round_deadline = Instant::now() + retry.timeout;
         loop {
-            let m = self.receiver.recv().expect("recv: cluster torn down");
-            if m.src == src && m.tag == tag {
-                self.count_recv(m.payload.len() * 8, t0);
-                return m.payload;
+            let wait = match mode {
+                WaitMode::Block => TICK,
+                WaitMode::Deadline(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        self.fcounters.timeouts.incr();
+                        return Err(CommError::Timeout { src, tag, retries });
+                    }
+                    TICK.min(d - now)
+                }
+            };
+            match self.receiver.recv_timeout(wait) {
+                Ok(m) => {
+                    let mut found = None;
+                    for m in self.accept(m) {
+                        if found.is_none() && m.src == src && m.tag == tag {
+                            found = Some(m.payload);
+                        } else {
+                            self.pending.push(m);
+                        }
+                    }
+                    if let Some(payload) = found {
+                        return Ok(payload);
+                    }
+                }
+                Err(_) => {
+                    // Idle tick (disconnection is unreachable while we hold
+                    // a sender to ourselves): poll the failure flags, then
+                    // the retry budget.
+                    if let Some(rank) = self.faults.any_failed() {
+                        return Err(CommError::RankFailed { rank });
+                    }
+                    if lossy && matches!(mode, WaitMode::Block) && Instant::now() >= round_deadline
+                    {
+                        if retries >= retry.max_retries {
+                            self.fcounters.timeouts.incr();
+                            return Err(CommError::Timeout { src, tag, retries });
+                        }
+                        retries += 1;
+                        self.fcounters.retries.incr();
+                        if let Some(payload) = self.replay_unacked(src, tag) {
+                            return Ok(payload);
+                        }
+                        round_deadline = Instant::now() + retry.timeout;
+                    }
+                }
             }
-            self.pending.push(m);
         }
     }
 
-    /// Synchronize all ranks.
+    /// Blocking receive of the message with the given source and tag.
+    /// Other messages arriving first are buffered (MPI matching
+    /// semantics). Panics on a communication fault — use
+    /// [`recv_result`](Self::recv_result) to handle faults explicitly.
+    pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f64> {
+        match self.recv_result(src, tag) {
+            Ok(payload) => payload,
+            Err(e) => panic!("recv: {e}"),
+        }
+    }
+
+    /// Blocking receive that surfaces faults as typed errors: a crashed
+    /// peer yields [`CommError::RankFailed`]; under a lossy plan a
+    /// message still missing after the retry budget yields
+    /// [`CommError::Timeout`].
+    pub fn recv_result(&mut self, src: usize, tag: u64) -> Result<Vec<f64>, CommError> {
+        let t0 = Instant::now();
+        let result = self.recv_inner(src, tag, WaitMode::Block);
+        self.counters.comm_seconds.add(t0.elapsed().as_secs_f64());
+        result
+    }
+
+    /// Receive with an explicit deadline and *no* retransmission: if the
+    /// message has not arrived when `timeout` expires, returns
+    /// [`CommError::Timeout`] and leaves recovery policy to the caller.
+    /// The slot is not tombstoned; a later identical `recv` can still
+    /// match the message.
+    pub fn recv_timeout(
+        &mut self,
+        src: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Vec<f64>, CommError> {
+        let t0 = Instant::now();
+        let result = self.recv_inner(src, tag, WaitMode::Deadline(t0 + timeout));
+        self.counters.comm_seconds.add(t0.elapsed().as_secs_f64());
+        result
+    }
+
+    /// Abandon the `(src, tag)` receive slot: any queued or future
+    /// arrival with this pair is acknowledged and discarded.
+    fn tombstone(&mut self, src: usize, tag: u64) {
+        self.tombstones.insert((src, tag));
+        self.pending.retain(|m| !(m.src == src && m.tag == tag));
+    }
+
+    /// Synchronize all ranks. Panics with the failed rank id if a rank
+    /// dies while others wait.
     pub fn barrier(&mut self) {
         let t0 = Instant::now();
-        self.barrier.wait();
+        let result = self.barrier.wait(&self.faults, TICK);
         self.counters.comm_seconds.add(t0.elapsed().as_secs_f64());
+        if let Err(e) = result {
+            panic!("barrier: {e}");
+        }
     }
 
     /// Exchange buffers with a set of peers: send to every peer, then
@@ -268,6 +587,46 @@ impl Communicator {
             .iter()
             .map(|(peer, _)| (*peer, self.recv(*peer, tag)))
             .collect()
+    }
+
+    /// Halo exchange with a per-call deadline — the degraded mode of the
+    /// distributed MFP (§6.3). Sends to every peer, then gives the whole
+    /// receive phase `timeout` to complete. A peer whose buffer misses
+    /// the deadline yields `Err(CommError::Timeout)` and its `(src, tag)`
+    /// slot is tombstoned (a late arrival is discarded, not delivered to
+    /// a future iteration); the caller reuses stale halo values instead.
+    /// The `tag` must be unique per exchange round for tombstoning to be
+    /// sound — the MFP uses its iteration index.
+    pub fn exchange_deadline(
+        &mut self,
+        outgoing: &[(usize, Vec<f64>)],
+        tag: u64,
+        timeout: Duration,
+    ) -> Vec<(usize, Result<Vec<f64>, CommError>)> {
+        let bytes: usize = outgoing.iter().map(|(_, p)| p.len() * 8).sum();
+        span!(
+            "comm.exchange",
+            peers = outgoing.len() as f64,
+            bytes = bytes as f64
+        );
+        self.counters.exchange_bytes.record(bytes as f64);
+        for (dst, payload) in outgoing {
+            self.send(*dst, tag, payload);
+        }
+        let t0 = Instant::now();
+        let deadline = t0 + timeout;
+        let results: Vec<(usize, Result<Vec<f64>, CommError>)> = outgoing
+            .iter()
+            .map(|(peer, _)| {
+                let r = self.recv_inner(*peer, tag, WaitMode::Deadline(deadline));
+                if matches!(r, Err(CommError::Timeout { .. })) {
+                    self.tombstone(*peer, tag);
+                }
+                (*peer, r)
+            })
+            .collect();
+        self.counters.comm_seconds.add(t0.elapsed().as_secs_f64());
+        results
     }
 
     /// In-place allreduce (sum).
@@ -392,10 +751,47 @@ impl Communicator {
         }
     }
 
+    /// Allreduce-sum with a *canonical reduction order*: every element is
+    /// summed over ranks 0, 1, …, P−1 left to right, on every rank.
+    ///
+    /// The ring and recursive-doubling paths of
+    /// [`allreduce_sum`](Self::allreduce_sum) reduce in an order that
+    /// depends on P, so the same per-rank contributions give slightly
+    /// different floating-point totals at different rank counts. This
+    /// variant (allgather + ordered local sum, P−1 messages each way)
+    /// trades bandwidth optimality for a P-independent summation order —
+    /// the basis of the cross-world-size determinism guarantee in
+    /// training.
+    pub fn allreduce_sum_ordered(&mut self, buf: &mut [f64]) {
+        if self.size == 1 {
+            return;
+        }
+        span!("comm.allreduce", bytes = (buf.len() * 8) as f64);
+        let gathered = self.allgather(buf);
+        for (i, slot) in buf.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for contribution in &gathered {
+                acc += contribution[i];
+            }
+            *slot = acc;
+        }
+    }
+
     /// Average `buf` across all ranks (allreduce-sum then divide) — the
     /// gradient synchronization of Algorithm 1.
     pub fn allreduce_mean(&mut self, buf: &mut [f64]) {
         self.allreduce_sum(buf);
+        let inv = 1.0 / self.size as f64;
+        for v in buf.iter_mut() {
+            *v *= inv;
+        }
+    }
+
+    /// Rank-ordered mean: [`allreduce_sum_ordered`](Self::allreduce_sum_ordered)
+    /// followed by the division, for reduction-order-independent gradient
+    /// averaging.
+    pub fn allreduce_mean_ordered(&mut self, buf: &mut [f64]) {
+        self.allreduce_sum_ordered(buf);
         let inv = 1.0 / self.size as f64;
         for v in buf.iter_mut() {
             *v *= inv;
@@ -863,5 +1259,76 @@ mod tests {
             assert_eq!((after.msgs_sent, after.bytes_sent), (1, 16));
             assert_eq!((after.msgs_recv, after.bytes_recv), (1, 16));
         }
+    }
+
+    #[test]
+    fn ordered_allreduce_matches_plain_sum_and_is_rank_identical() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for p in [1usize, 2, 3, 5] {
+            let inputs: Vec<Vec<f64>> = (0..p)
+                .map(|_| (0..12).map(|_| rng.gen_range(-2.0..2.0)).collect())
+                .collect();
+            let expect: Vec<f64> = (0..12).map(|i| inputs.iter().map(|v| v[i]).sum()).collect();
+            let inputs_ref = &inputs;
+            let outs = Cluster::run(p, move |c| {
+                let mut buf = inputs_ref[c.rank()].clone();
+                c.allreduce_sum_ordered(&mut buf);
+                buf
+            });
+            for o in &outs {
+                assert_eq!(o, &outs[0], "all ranks bit-identical");
+                for (a, e) in o.iter().zip(&expect) {
+                    assert!((a - e).abs() < 1e-12, "p={p}: {a} vs {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_mean_divides() {
+        let outs = Cluster::run(4, |c| {
+            let mut buf = vec![c.rank() as f64; 3];
+            c.allreduce_mean_ordered(&mut buf);
+            buf
+        });
+        for o in outs {
+            assert_eq!(o, vec![1.5; 3]);
+        }
+    }
+
+    /// Regression: the out-of-order buffer must stay FIFO per (src, tag).
+    /// A `swap_remove` there once let a consume for one peer move a
+    /// later-seq message in front of an earlier one from another peer,
+    /// so a rank running a collective ahead could get its step-N+1
+    /// payload delivered in step N.
+    #[test]
+    fn pending_buffer_preserves_same_tag_message_order() {
+        let outs = Cluster::run(4, |c| {
+            if c.rank() == 0 {
+                // Park in a recv from the slowest sender so the other
+                // messages accumulate in the pending buffer in arrival
+                // order: [1/tag7, 2/tag7 seq0, 2/tag7 seq1].
+                assert_eq!(c.recv(3, 9), vec![99.0]);
+                assert_eq!(c.recv(1, 7), vec![1.0]);
+                let first = c.recv(2, 7);
+                let second = c.recv(2, 7);
+                (first, second)
+            } else {
+                match c.rank() {
+                    1 => c.send(0, 7, &[1.0]),
+                    2 => {
+                        std::thread::sleep(Duration::from_millis(30));
+                        c.send(0, 7, &[10.0]);
+                        c.send(0, 7, &[20.0]);
+                    }
+                    _ => {
+                        std::thread::sleep(Duration::from_millis(90));
+                        c.send(0, 9, &[99.0]);
+                    }
+                }
+                (Vec::new(), Vec::new())
+            }
+        });
+        assert_eq!(outs[0], (vec![10.0], vec![20.0]));
     }
 }

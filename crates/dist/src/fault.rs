@@ -1,0 +1,415 @@
+//! `mf-faultsim`: deterministic fault injection for the simulated cluster.
+//!
+//! A seeded [`FaultPlan`] wraps every link of the cluster with message
+//! drops, duplication, delivery delays, and rank-crash injection, all
+//! behind the existing [`Communicator`](crate::Communicator) API. The
+//! recovery machinery lives here too:
+//!
+//! * every point-to-point message carries a per-link sequence number and
+//!   is kept in a shared **retransmit log** until the receiver
+//!   acknowledges it, so a receive timeout can replay lost messages
+//!   (NACK/retry semantics) without involving the — possibly busy —
+//!   sender thread, exactly like a NIC-level reliable transport;
+//! * receivers **deduplicate** by sequence number, so retransmits and
+//!   injected duplicates deliver exactly once;
+//! * a per-rank **failure flag** turns a crashed or panicking rank into a
+//!   typed [`CommError::RankFailed`] on every peer instead of a deadlock.
+//!
+//! Drop/duplicate/delay decisions are drawn from a per-link splitmix64
+//! stream seeded from `FaultPlan::seed`, advanced once per `send` in the
+//! sender's program order — so the set of dropped first transmissions is
+//! a pure function of the seed, independent of thread scheduling.
+//! Retransmissions travel the reliable path (they model a NACK-triggered
+//! resend over a control channel), which bounds recovery: any message in
+//! the log is delivered after at most one retry round.
+
+use mf_telemetry::{counter, Counter};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Receive timeout + bounded-retry policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// How long a receiver waits for a matching message before it
+    /// requests a retransmission of the link's unacknowledged messages.
+    pub timeout: Duration,
+    /// Retransmission rounds before the receive fails with
+    /// [`CommError::Timeout`].
+    pub max_retries: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            timeout: Duration::from_millis(100),
+            max_retries: 8,
+        }
+    }
+}
+
+/// Crash injection: rank `rank` panics once it has issued
+/// `after_sends` point-to-point messages (collectives count their
+/// internal messages), simulating a mid-iteration node failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashAt {
+    /// The rank that dies.
+    pub rank: usize,
+    /// Messages the rank sends before dying.
+    pub after_sends: usize,
+}
+
+/// A seeded description of the faults to inject into a cluster run.
+///
+/// The default plan injects nothing and detects failures only; it is what
+/// [`Cluster::run`](crate::Cluster::run) uses.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the per-link fault streams.
+    pub seed: u64,
+    /// Probability that a first transmission is dropped.
+    pub drop_rate: f64,
+    /// Probability that a delivered message is duplicated.
+    pub dup_rate: f64,
+    /// Probability that a send stalls before delivery.
+    pub delay_rate: f64,
+    /// Maximum stall, in microseconds (uniform in `0..=max`).
+    pub delay_max_us: u64,
+    /// Optional injected rank crash.
+    pub crash: Option<CrashAt>,
+    /// Timeout/retry policy used by every blocking receive while this
+    /// plan is active.
+    pub retry: RetryPolicy,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// The no-fault plan: lossless delivery, failure detection only.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            drop_rate: 0.0,
+            dup_rate: 0.0,
+            delay_rate: 0.0,
+            delay_max_us: 0,
+            crash: None,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// A lossy plan: drop `drop_rate` of first transmissions, recover via
+    /// the default retry policy.
+    pub fn lossy(seed: u64, drop_rate: f64) -> Self {
+        Self {
+            seed,
+            drop_rate,
+            ..Self::none()
+        }
+    }
+
+    /// Whether transmissions themselves can be perturbed (drop /
+    /// duplicate / delay). Crash-only plans are not lossy: nothing sent
+    /// is lost, so receives wait without a retry budget.
+    pub fn is_lossy(&self) -> bool {
+        self.drop_rate > 0.0 || self.dup_rate > 0.0 || self.delay_rate > 0.0
+    }
+
+    /// Whether any fault is injected (as opposed to pure detection).
+    pub fn is_active(&self) -> bool {
+        self.is_lossy() || self.crash.is_some()
+    }
+}
+
+/// A typed communication failure, carrying the rank it implicates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// No matching message arrived within the policy's timeout and retry
+    /// budget.
+    Timeout {
+        /// Expected source rank.
+        src: usize,
+        /// Expected message tag.
+        tag: u64,
+        /// Retransmission rounds that were attempted.
+        retries: usize,
+    },
+    /// A rank in the job crashed or panicked.
+    RankFailed {
+        /// The failed rank.
+        rank: usize,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout { src, tag, retries } => write!(
+                f,
+                "timed out waiting for message (src {src}, tag {tag}) after {retries} retries"
+            ),
+            CommError::RankFailed { rank } => write!(f, "rank {rank} failed"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Error from [`Cluster::try_run`](crate::Cluster::try_run): one or more
+/// ranks panicked or crashed. Failures are listed in the order they were
+/// observed, so the first entry is the originating fault and later ones
+/// are cascades (peers erroring out with [`CommError::RankFailed`]).
+#[derive(Debug)]
+pub struct ClusterError {
+    /// `(rank, panic message)` in observation order.
+    pub failed: Vec<(usize, String)>,
+}
+
+impl ClusterError {
+    /// The first-failing rank (the root cause).
+    pub fn origin(&self) -> usize {
+        self.failed.first().map(|(r, _)| *r).unwrap_or(usize::MAX)
+    }
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.failed.as_slice() {
+            [] => write!(f, "cluster failed with no recorded rank"),
+            [(rank, msg), rest @ ..] => {
+                write!(f, "rank {rank} failed: {msg}")?;
+                if !rest.is_empty() {
+                    write!(f, " ({} rank(s) failed in cascade)", rest.len())?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Telemetry counters of the fault layer (`fault.*`), one handle set per
+/// thread.
+#[derive(Clone)]
+pub(crate) struct FaultCounters {
+    pub dropped: Counter,
+    pub duplicated: Counter,
+    pub delayed: Counter,
+    pub retries: Counter,
+    pub timeouts: Counter,
+    pub dedup_discarded: Counter,
+}
+
+impl FaultCounters {
+    pub(crate) fn new() -> Self {
+        Self {
+            dropped: counter("fault.dropped"),
+            duplicated: counter("fault.duplicated"),
+            delayed: counter("fault.delayed"),
+            retries: counter("fault.retries"),
+            timeouts: counter("fault.timeouts"),
+            dedup_discarded: counter("fault.dedup_discarded"),
+        }
+    }
+}
+
+/// splitmix64 — a tiny, dependency-free deterministic stream.
+#[derive(Clone, Debug)]
+pub(crate) struct Splitmix {
+    state: u64,
+}
+
+impl Splitmix {
+    pub(crate) fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    pub(crate) fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Per-directed-link shared state: the sequence counter, the retransmit
+/// log of unacknowledged messages, and the link's fault stream.
+pub(crate) struct Link {
+    pub next_seq: u64,
+    /// seq → (tag, payload) for every sent-but-unacknowledged message.
+    pub unacked: BTreeMap<u64, (u64, Vec<f64>)>,
+    pub rng: Splitmix,
+}
+
+/// Shared fault/recovery state of one cluster run.
+pub(crate) struct FaultState {
+    pub plan: FaultPlan,
+    /// `links[src * size + dst]`.
+    pub links: Vec<Mutex<Link>>,
+    /// First rank to fail (`usize::MAX` while all are healthy); checked
+    /// by every blocked receive so peers report the root cause, not a
+    /// cascade.
+    pub origin: AtomicUsize,
+    /// Panic messages in observation order.
+    pub panics: Mutex<Vec<(usize, String)>>,
+    /// Per-rank count of issued point-to-point sends (crash trigger).
+    pub sends_issued: Vec<AtomicUsize>,
+}
+
+impl FaultState {
+    pub(crate) fn new(size: usize, plan: FaultPlan) -> Self {
+        let links = (0..size * size)
+            .map(|idx| {
+                Mutex::new(Link {
+                    next_seq: 0,
+                    unacked: BTreeMap::new(),
+                    // Decorrelate links; golden-ratio offset per link id.
+                    rng: Splitmix::new(
+                        plan.seed ^ (idx as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+                    ),
+                })
+            })
+            .collect();
+        Self {
+            plan,
+            links,
+            origin: AtomicUsize::new(usize::MAX),
+            panics: Mutex::new(Vec::new()),
+            sends_issued: (0..size).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    pub(crate) fn link(&self, src: usize, dst: usize, size: usize) -> MutexGuard<'_, Link> {
+        lock_robust(&self.links[src * size + dst])
+    }
+
+    /// The first-failing rank, if any rank has failed.
+    pub(crate) fn any_failed(&self) -> Option<usize> {
+        let origin = self.origin.load(Ordering::Acquire);
+        (origin != usize::MAX).then_some(origin)
+    }
+
+    /// Record a rank failure: the message first (so cascades always sort
+    /// after their origin), then the flag peers poll. Only the first
+    /// failure becomes the origin.
+    pub(crate) fn mark_failed(&self, rank: usize, msg: String) {
+        lock_robust(&self.panics).push((rank, msg));
+        let _ =
+            self.origin
+                .compare_exchange(usize::MAX, rank, Ordering::Release, Ordering::Relaxed);
+    }
+}
+
+/// Lock a mutex, recovering from poisoning (a rank may panic while its
+/// peers keep running; their view of the shared state stays usable).
+pub(crate) fn lock_robust<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// A sense-reversing barrier whose waiters poll the failure flags, so a
+/// dead rank turns `wait` into an error instead of a permanent hang.
+pub(crate) struct FaultBarrier {
+    size: usize,
+    state: Mutex<(usize, u64)>, // (arrived, generation)
+    cv: Condvar,
+}
+
+impl FaultBarrier {
+    pub(crate) fn new(size: usize) -> Self {
+        Self {
+            size,
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn wait(&self, faults: &FaultState, tick: Duration) -> Result<(), CommError> {
+        let mut guard = lock_robust(&self.state);
+        guard.0 += 1;
+        if guard.0 == self.size {
+            guard.0 = 0;
+            guard.1 += 1;
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let generation = guard.1;
+        loop {
+            let (g, _timeout) = self
+                .cv
+                .wait_timeout(guard, tick)
+                .unwrap_or_else(|p| p.into_inner());
+            guard = g;
+            if guard.1 != generation {
+                return Ok(());
+            }
+            if let Some(rank) = faults.any_failed() {
+                return Err(CommError::RankFailed { rank });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_uniform_ish() {
+        let mut a = Splitmix::new(7);
+        let mut b = Splitmix::new(7);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mean: f64 = (0..1000).map(|_| a.unit()).sum::<f64>() / 1000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn plan_activity_flag() {
+        assert!(!FaultPlan::none().is_active());
+        assert!(FaultPlan::lossy(1, 0.1).is_active());
+        let crash = FaultPlan {
+            crash: Some(CrashAt {
+                rank: 0,
+                after_sends: 1,
+            }),
+            ..FaultPlan::none()
+        };
+        assert!(crash.is_active());
+    }
+
+    #[test]
+    fn cluster_error_reports_origin_first() {
+        let e = ClusterError {
+            failed: vec![(2, "injected crash".into()), (0, "rank 2 failed".into())],
+        };
+        assert_eq!(e.origin(), 2);
+        let msg = e.to_string();
+        assert!(msg.starts_with("rank 2 failed: injected crash"), "{msg}");
+        assert!(msg.contains("1 rank(s) failed in cascade"), "{msg}");
+    }
+
+    #[test]
+    fn comm_error_messages_name_the_rank() {
+        let t = CommError::Timeout {
+            src: 3,
+            tag: 9,
+            retries: 2,
+        };
+        assert!(t.to_string().contains("src 3"));
+        let f = CommError::RankFailed { rank: 5 };
+        assert!(f.to_string().contains("rank 5"));
+    }
+}

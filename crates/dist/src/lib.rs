@@ -26,6 +26,9 @@
 //! communication*; the message traffic itself is real and verified.
 
 mod comm;
+mod fault;
+#[cfg(test)]
+mod fault_tests;
 mod perfmodel;
 #[cfg(test)]
 mod stress_tests;
@@ -33,6 +36,7 @@ mod telemetry;
 mod topology;
 
 pub use comm::{Cluster, CommStats, Communicator, ALLREDUCE_RD_MAX_ELEMS};
+pub use fault::{ClusterError, CommError, CrashAt, FaultPlan, RetryPolicy};
 pub use perfmodel::{thread_cpu_time, GpuModel, PerfModel};
 pub use telemetry::{gather_rank_metrics, print_merged_report};
 pub use topology::{CartesianGrid, Direction, RankOrder};

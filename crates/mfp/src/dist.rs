@@ -14,10 +14,13 @@ use crate::domain::{DomainSpec, Subdomain};
 use crate::seq::MaeTarget;
 use crate::solver::SubdomainSolver;
 use mf_dist::thread_cpu_time;
-use mf_dist::{CartesianGrid, Cluster, CommStats, Direction, RankOrder};
+use mf_dist::{
+    CartesianGrid, Cluster, ClusterError, CommError, CommStats, Direction, FaultPlan, RankOrder,
+};
 use mf_numerics::boundary::apply_boundary;
-use mf_telemetry::{histogram, span, Buckets};
+use mf_telemetry::{counter, histogram, span, Buckets};
 use mf_tensor::Tensor;
+use std::time::Duration;
 
 /// Controls for [`run_distributed`].
 #[derive(Clone, Debug)]
@@ -39,6 +42,17 @@ pub struct DistMfpConfig {
     /// Coarse-grid lattice initialization before iterating (each rank
     /// computes the same cheap coarse solve locally).
     pub coarse_init: bool,
+    /// Fault injection for the cluster's links ([`FaultPlan::none`] keeps
+    /// the lossless PR-1 semantics).
+    pub plan: FaultPlan,
+    /// Degraded mode: bound each halo exchange by [`Self::halo_timeout`]
+    /// and *reuse the stale halo* from the previous exchange when a
+    /// neighbor misses the deadline, instead of blocking the iteration.
+    /// The Schwarz fixed point is unchanged — stale interface data only
+    /// slows convergence (the same trade as `comm_every > 1`).
+    pub degraded_halos: bool,
+    /// Per-exchange deadline in degraded mode.
+    pub halo_timeout: Duration,
 }
 
 impl Default for DistMfpConfig {
@@ -51,6 +65,9 @@ impl Default for DistMfpConfig {
             order: RankOrder::RowMajor,
             target: None,
             coarse_init: false,
+            plan: FaultPlan::none(),
+            degraded_halos: false,
+            halo_timeout: Duration::from_millis(50),
         }
     }
 }
@@ -73,6 +90,9 @@ pub struct RankReport {
     pub halo: CommStats,
     /// Overlapping subdomains owned by this rank.
     pub owned_subdomains: usize,
+    /// Halo slots served from stale data because a neighbor missed the
+    /// degraded-mode deadline (always 0 outside degraded mode).
+    pub stale_halos: usize,
 }
 
 /// Result of [`run_distributed`].
@@ -263,6 +283,18 @@ pub fn run_distributed<S: SubdomainSolver>(
     run_distributed_shifted(solver, domain, bc, 0.0, None, ranks, cfg)
 }
 
+/// [`run_distributed`] that surfaces rank failures (panics, injected
+/// crashes) as a typed [`ClusterError`] instead of panicking.
+pub fn try_run_distributed<S: SubdomainSolver>(
+    solver: &S,
+    domain: &DomainSpec,
+    bc: &Tensor,
+    ranks: usize,
+    cfg: &DistMfpConfig,
+) -> Result<DistMfpResult, ClusterError> {
+    try_run_distributed_shifted(solver, domain, bc, 0.0, None, ranks, cfg)
+}
+
 /// [`run_distributed`] for the shifted operator `σu − Δu = f` (forcing on
 /// the full global grid) — the distributed form of the time-dependent
 /// extension. Every rank reads the shared forcing field; only the
@@ -276,6 +308,21 @@ pub fn run_distributed_shifted<S: SubdomainSolver>(
     ranks: usize,
     cfg: &DistMfpConfig,
 ) -> DistMfpResult {
+    try_run_distributed_shifted(solver, domain, bc, sigma, forcing, ranks, cfg)
+        .unwrap_or_else(|e| panic!("cluster failed: {e}"))
+}
+
+/// [`run_distributed_shifted`] with typed failure reporting.
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_distributed_shifted<S: SubdomainSolver>(
+    solver: &S,
+    domain: &DomainSpec,
+    bc: &Tensor,
+    sigma: f64,
+    forcing: Option<&Tensor>,
+    ranks: usize,
+    cfg: &DistMfpConfig,
+) -> Result<DistMfpResult, ClusterError> {
     if let Some(f) = forcing {
         assert_eq!(
             f.shape(),
@@ -302,10 +349,12 @@ pub fn run_distributed_shifted<S: SubdomainSolver>(
     let interior_pts = domain.offsets_to_points(&interior);
     let s = domain.shift();
 
-    let per_rank = Cluster::run(ranks, |comm| {
+    let per_rank = Cluster::try_run(ranks, cfg.plan.clone(), |comm| {
         let rank = comm.rank();
         let owned = part.owned(rank);
         let neighbors = part.grid.neighbors(rank);
+        let stale_counter = counter("mfp.stale_halos");
+        let mut stale_halos = 0usize;
 
         // Local copy of the global grid; only owned ∪ halo is maintained.
         let mut u = Tensor::zeros(domain.ny(), domain.nx());
@@ -384,15 +433,42 @@ pub fn run_distributed_shifted<S: SubdomainSolver>(
                     .collect();
                 pack_seconds += thread_cpu_time() - t1;
                 h_halo.record(outgoing.iter().map(|(_, p)| p.len() * 8).sum::<usize>() as f64);
-                let incoming = comm.exchange(&outgoing, it as u64);
-                let t2 = thread_cpu_time();
-                for ((dir, nbr), (peer, data)) in neighbors.iter().zip(incoming) {
-                    debug_assert_eq!(*nbr, peer);
-                    // The neighbor sent its own band facing us.
-                    let region = part.band(*nbr, dir.opposite());
-                    part.unpack(&mut u, &region, &data);
+                if cfg.degraded_halos {
+                    // Deadline-bounded exchange: a slot whose neighbor
+                    // missed the deadline keeps its previous (stale)
+                    // values — the iteration proceeds instead of
+                    // blocking. The per-iteration tag keeps late round-N
+                    // data out of round N+1.
+                    let incoming = comm.exchange_deadline(&outgoing, it as u64, cfg.halo_timeout);
+                    let t2 = thread_cpu_time();
+                    for ((dir, nbr), (peer, result)) in neighbors.iter().zip(incoming) {
+                        debug_assert_eq!(*nbr, peer);
+                        match result {
+                            Ok(data) => {
+                                let region = part.band(*nbr, dir.opposite());
+                                part.unpack(&mut u, &region, &data);
+                            }
+                            Err(CommError::Timeout { .. }) => {
+                                stale_halos += 1;
+                                stale_counter.incr();
+                            }
+                            Err(e @ CommError::RankFailed { .. }) => {
+                                panic!("halo exchange: {e}");
+                            }
+                        }
+                    }
+                    pack_seconds += thread_cpu_time() - t2;
+                } else {
+                    let incoming = comm.exchange(&outgoing, it as u64);
+                    let t2 = thread_cpu_time();
+                    for ((dir, nbr), (peer, data)) in neighbors.iter().zip(incoming) {
+                        debug_assert_eq!(*nbr, peer);
+                        // The neighbor sent its own band facing us.
+                        let region = part.band(*nbr, dir.opposite());
+                        part.unpack(&mut u, &region, &data);
+                    }
+                    pack_seconds += thread_cpu_time() - t2;
                 }
-                pack_seconds += thread_cpu_time() - t2;
             }
 
             // Global convergence check (Algorithm 2, line 5).
@@ -485,24 +561,25 @@ pub fn run_distributed_shifted<S: SubdomainSolver>(
             comm: comm.stats(),
             halo: halo_stats,
             owned_subdomains,
+            stale_halos,
         };
         if mf_telemetry::metrics_report_enabled() {
             mf_dist::print_merged_report(comm);
         }
         (global, iterations, converged, deltas, mae_history, report)
-    });
+    })?;
 
     let reports: Vec<RankReport> = per_rank.iter().map(|r| r.5).collect();
     let (grid, iterations, converged, deltas, mae_history, _) =
         per_rank.into_iter().next().unwrap();
-    DistMfpResult {
+    Ok(DistMfpResult {
         grid,
         iterations,
         converged,
         deltas,
         mae_history,
         reports,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -819,6 +896,103 @@ mod tests {
         assert!(diff < 1e-5, "distributed vs sequential MAE {diff}");
         let total: usize = dist.reports.iter().map(|r| r.owned_subdomains).sum();
         assert_eq!(total, d.subdomains().len());
+    }
+
+    #[test]
+    fn dropped_halos_recover_to_the_fault_free_result() {
+        // 10% drop with bounded retries: retransmission delivers the
+        // identical payloads, so the run matches the fault-free residual
+        // trajectory bitwise (well inside the 1e-6 acceptance bound).
+        use mf_dist::RetryPolicy;
+        let d = DomainSpec::new(spec(), 2, 2);
+        let oracle = OracleSolver::new(spec(), 1e-10);
+        let bc = harmonic_bc(&d);
+        let base = DistMfpConfig {
+            max_iters: 60,
+            tol: 1e-8,
+            ..Default::default()
+        };
+        let clean = run_distributed(&oracle, &d, &bc, 4, &base);
+        let faulty_cfg = DistMfpConfig {
+            plan: FaultPlan {
+                retry: RetryPolicy {
+                    timeout: Duration::from_millis(20),
+                    max_retries: 100,
+                },
+                ..FaultPlan::lossy(9, 0.10)
+            },
+            ..base
+        };
+        let faulty = try_run_distributed(&oracle, &d, &bc, 4, &faulty_cfg).unwrap();
+        assert_eq!(clean.iterations, faulty.iterations);
+        assert_eq!(clean.deltas, faulty.deltas, "residual trajectories differ");
+        assert!(clean.grid.max_abs_diff(&faulty.grid) < 1e-6);
+    }
+
+    #[test]
+    fn degraded_mode_reuses_stale_halos_and_still_converges() {
+        // Sender-side delays larger than the halo deadline force timeouts;
+        // degraded mode substitutes the stale halo and keeps iterating.
+        // Stale interfaces only slow Schwarz convergence (same fixed
+        // point), so the solution still lands on the sequential one.
+        let d = DomainSpec::new(spec(), 2, 2);
+        let oracle = OracleSolver::new(spec(), 1e-10);
+        let bc = harmonic_bc(&d);
+        let clean = run_distributed(
+            &oracle,
+            &d,
+            &bc,
+            4,
+            &DistMfpConfig {
+                max_iters: 500,
+                tol: 1e-8,
+                ..Default::default()
+            },
+        );
+        let degraded_cfg = DistMfpConfig {
+            max_iters: 500,
+            tol: 1e-8,
+            plan: FaultPlan {
+                seed: 3,
+                delay_rate: 0.4,
+                delay_max_us: 30_000,
+                ..FaultPlan::none()
+            },
+            degraded_halos: true,
+            halo_timeout: Duration::from_millis(8),
+            ..Default::default()
+        };
+        let degraded = try_run_distributed(&oracle, &d, &bc, 4, &degraded_cfg).unwrap();
+        assert!(degraded.converged, "degraded run did not converge");
+        let stale: usize = degraded.reports.iter().map(|r| r.stale_halos).sum();
+        assert!(stale > 0, "delays never exceeded the halo deadline");
+        assert!(
+            clean.grid.mean_abs_diff(&degraded.grid) < 1e-5,
+            "degraded solution diverged: {}",
+            clean.grid.mean_abs_diff(&degraded.grid)
+        );
+    }
+
+    #[test]
+    fn injected_crash_in_mfp_names_the_rank() {
+        use mf_dist::CrashAt;
+        let d = DomainSpec::new(spec(), 2, 2);
+        let oracle = OracleSolver::new(spec(), 1e-10);
+        let bc = harmonic_bc(&d);
+        let cfg = DistMfpConfig {
+            max_iters: 50,
+            tol: 1e-8,
+            plan: FaultPlan {
+                crash: Some(CrashAt {
+                    rank: 3,
+                    after_sends: 10,
+                }),
+                ..FaultPlan::none()
+            },
+            ..Default::default()
+        };
+        let err = try_run_distributed(&oracle, &d, &bc, 4, &cfg).unwrap_err();
+        assert_eq!(err.origin(), 3, "{err}");
     }
 
     #[test]

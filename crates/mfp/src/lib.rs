@@ -36,7 +36,8 @@ mod seq;
 mod solver;
 
 pub use dist::{
-    run_distributed, run_distributed_shifted, DistMfpConfig, DistMfpResult, RankReport,
+    run_distributed, run_distributed_shifted, try_run_distributed, try_run_distributed_shifted,
+    DistMfpConfig, DistMfpResult, RankReport,
 };
 pub use domain::{DomainSpec, Subdomain};
 pub use seq::{MaeTarget, Mfp, MfpConfig, MfpResult};

@@ -14,44 +14,87 @@ use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"MFSDNET1";
 
-fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
-}
+pub mod wire {
+    //! Little-endian wire primitives of the model format, exposed so
+    //! other crates (the trainer's checkpoint format, notably) can share
+    //! one encoding instead of inventing a second one.
 
-fn write_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
-}
+    use mf_tensor::Tensor;
+    use std::io::{self, Read, Write};
 
-fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
-    write_u64(w, s.len() as u64)?;
-    w.write_all(s.as_bytes())
-}
-
-fn read_u64(r: &mut impl Read) -> io::Result<u64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
-}
-
-fn read_f64(r: &mut impl Read) -> io::Result<f64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(f64::from_le_bytes(b))
-}
-
-fn read_str(r: &mut impl Read) -> io::Result<String> {
-    let n = read_u64(r)? as usize;
-    if n > 1 << 20 {
-        return Err(bad("string length out of range"));
+    /// Write a `u64` little-endian.
+    pub fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+        w.write_all(&v.to_le_bytes())
     }
-    let mut buf = vec![0u8; n];
-    r.read_exact(&mut buf)?;
-    String::from_utf8(buf).map_err(|_| bad("invalid UTF-8 in model file"))
+
+    /// Write an `f64` little-endian.
+    pub fn write_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
+        w.write_all(&v.to_le_bytes())
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+        write_u64(w, s.len() as u64)?;
+        w.write_all(s.as_bytes())
+    }
+
+    /// Write a tensor as `rows, cols, values…`.
+    pub fn write_tensor(w: &mut impl Write, t: &Tensor) -> io::Result<()> {
+        write_u64(w, t.rows() as u64)?;
+        write_u64(w, t.cols() as u64)?;
+        for &v in t.as_slice() {
+            write_f64(w, v)?;
+        }
+        Ok(())
+    }
+
+    /// Read a `u64` little-endian.
+    pub fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        r.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Read an `f64` little-endian.
+    pub fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+        let mut b = [0u8; 8];
+        r.read_exact(&mut b)?;
+        Ok(f64::from_le_bytes(b))
+    }
+
+    /// Read a length-prefixed UTF-8 string (length capped at 1 MiB).
+    pub fn read_str(r: &mut impl Read) -> io::Result<String> {
+        let n = read_u64(r)? as usize;
+        if n > 1 << 20 {
+            return Err(bad("string length out of range"));
+        }
+        let mut buf = vec![0u8; n];
+        r.read_exact(&mut buf)?;
+        String::from_utf8(buf).map_err(|_| bad("invalid UTF-8 in model file"))
+    }
+
+    /// Read a tensor written by [`write_tensor`] (elements capped at
+    /// 2²⁶ ≈ 64M to bound allocation on corrupt input).
+    pub fn read_tensor(r: &mut impl Read) -> io::Result<Tensor> {
+        let rows = read_u64(r)? as usize;
+        let cols = read_u64(r)? as usize;
+        if rows.saturating_mul(cols) > 1 << 26 {
+            return Err(bad("tensor size out of range"));
+        }
+        let mut data = vec![0.0; rows * cols];
+        for v in &mut data {
+            *v = read_f64(r)?;
+        }
+        Ok(Tensor::from_vec(rows, cols, data))
+    }
+
+    /// An `InvalidData` error with the given message.
+    pub fn bad(msg: &str) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, msg)
+    }
 }
 
-fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg)
-}
+use wire::{bad, read_f64, read_str, read_u64, write_f64, write_str, write_u64};
 
 impl SdNet {
     /// Serialize the architecture and all parameters to a writer.

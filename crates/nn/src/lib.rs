@@ -27,6 +27,7 @@ mod sdnet;
 
 pub use activation::Activation;
 pub use conv::CircularConv1d;
+pub use io::wire;
 pub use linear::Linear;
 pub use params::{Bound, ParamId, Params};
 pub use sdnet::{EmbeddingKind, SdNet, SdNetConfig};

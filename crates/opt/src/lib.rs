@@ -19,5 +19,5 @@
 mod optim;
 mod schedule;
 
-pub use optim::{clip_grad_norm, Adam, AdamW, Lamb, Optimizer, Sgd};
+pub use optim::{clip_grad_norm, Adam, AdamW, Lamb, Optimizer, OptimizerState, Sgd};
 pub use schedule::{Decay, LrSchedule};

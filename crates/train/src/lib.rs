@@ -16,12 +16,16 @@
 //! * [`memory`] meters the autograd graph bytes with and without the PDE
 //!   loss, reproducing Table 3.
 
+pub mod checkpoint;
 pub mod losses;
 pub mod memory;
 pub mod step;
 pub mod trainer;
 
+pub use checkpoint::{save_checkpoint, CheckpointConfig, TrainState};
 pub use losses::{data_loss, pde_loss};
 pub use memory::{measure_step_memory, MemoryReport};
 pub use step::{local_gradients, train_step_distributed, train_step_single, GradSync, StepStats};
-pub use trainer::{evaluate_mse, train_ddp, train_single, DdpResult, EpochLog, TrainConfig};
+pub use trainer::{
+    evaluate_mse, train_ddp, train_ddp_resumable, train_single, DdpResult, EpochLog, TrainConfig,
+};

@@ -29,6 +29,12 @@ pub enum GradSync {
     /// One allreduce per loss term (what naive DDP hooks would do): same
     /// numerics, twice the latency cost.
     PerLoss,
+    /// Like [`GradSync::Fused`] but the mean is computed in a fixed rank
+    /// order (allgather + ordered local sum), so the floating-point
+    /// reduction is independent of the world size. Costs more bandwidth
+    /// than the ring allreduce; use it when loss curves must match
+    /// across 1/2/4-rank runs bit-for-bit.
+    OrderedFused,
 }
 
 /// Cached `mf-telemetry` handles for the trainer hot path (registered
@@ -211,6 +217,16 @@ pub fn train_step_distributed(
                 let avg_d = unflatten_like(&fd, &data_grads);
                 let avg_p = unflatten_like(&fp, &pde_grads);
                 avg_d.iter().zip(&avg_p).map(|(d, p)| d.add(p)).collect()
+            }
+            GradSync::OrderedFused => {
+                let local: Vec<Tensor> = data_grads
+                    .iter()
+                    .zip(&pde_grads)
+                    .map(|(d, p)| d.add(p))
+                    .collect();
+                let mut flat = flatten(&local);
+                comm.allreduce_mean_ordered(&mut flat);
+                unflatten_like(&flat, &local)
             }
         }
     };

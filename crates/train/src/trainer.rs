@@ -1,10 +1,13 @@
 //! Epoch-level training loops, single-device and distributed.
 
+use crate::checkpoint::{
+    latest_step, load_checkpoint, save_checkpoint, CheckpointConfig, TrainState,
+};
 use crate::step::GradSync;
 use mf_data::{BatchSampler, Dataset};
-use mf_dist::{Cluster, CommStats};
+use mf_dist::{Cluster, ClusterError, CommStats, FaultPlan};
 use mf_nn::SdNet;
-use mf_opt::{Adam, AdamW, Lamb, LrSchedule, Optimizer, Sgd};
+use mf_opt::{Adam, AdamW, Lamb, LrSchedule, Optimizer, OptimizerState, Sgd};
 use mf_tensor::Tensor;
 use std::time::Instant;
 
@@ -101,11 +104,21 @@ fn make_opt(kind: OptKind) -> Box<dyn OptimizerObj> {
 /// the parameter iterator, so box a closure-style wrapper instead).
 trait OptimizerObj {
     fn step_net(&mut self, net: &mut SdNet, grads: &[Tensor], lr: f64);
+    fn export_state(&self) -> OptimizerState;
+    fn import_state(&mut self, state: &OptimizerState);
 }
 
 impl<O: Optimizer> OptimizerObj for O {
     fn step_net(&mut self, net: &mut SdNet, grads: &[Tensor], lr: f64) {
         self.step(net.params.tensors_mut(), grads, lr);
+    }
+
+    fn export_state(&self) -> OptimizerState {
+        Optimizer::export_state(self)
+    }
+
+    fn import_state(&mut self, state: &OptimizerState) {
+        Optimizer::import_state(self, state);
     }
 }
 
@@ -205,11 +218,50 @@ pub fn train_ddp(
     cfg: &TrainConfig,
     sync: GradSync,
 ) -> DdpResult {
+    train_ddp_resumable(
+        world,
+        template,
+        train,
+        val,
+        cfg,
+        sync,
+        FaultPlan::none(),
+        None,
+    )
+    .unwrap_or_else(|e| panic!("cluster failed: {e}"))
+}
+
+/// [`train_ddp`] with fault injection and periodic checkpoint/restart.
+///
+/// * `plan` wraps the cluster's communicator in the `mf-faultsim` layer;
+///   [`FaultPlan::none`] reproduces `train_ddp` exactly (same messages,
+///   same numerics).
+/// * `ckpt`, when given, saves a per-rank [`TrainState`] every
+///   `every_steps` optimizer steps (atomic write, keep-K pruning). On
+///   entry every rank offers its newest on-disk step and the cluster
+///   resumes from the *minimum* common step — or from scratch if any rank
+///   has nothing. A resumed run replays the epoch's batch list from the
+///   sampler snapshot and continues bitwise-identically to a run that was
+///   never interrupted.
+///
+/// Rank panics (including injected crashes) surface as a typed
+/// [`ClusterError`] naming the failed rank instead of hanging.
+#[allow(clippy::too_many_arguments)]
+pub fn train_ddp_resumable(
+    world: usize,
+    template: &SdNet,
+    train: &Dataset,
+    val: &Dataset,
+    cfg: &TrainConfig,
+    sync: GradSync,
+    plan: FaultPlan,
+    ckpt: Option<&CheckpointConfig>,
+) -> Result<DdpResult, ClusterError> {
     let schedule = cfg.schedule.scaled_for_devices(world);
-    let results = Cluster::run(world, |comm| {
+    let results = Cluster::try_run(world, plan, |comm| {
         let rank = comm.rank();
-        let mut net = template.clone();
         let shard = train.shard(rank, world);
+        let mut net = template.clone();
         let mut sampler = BatchSampler::new(
             cfg.batch_size,
             cfg.qd,
@@ -220,10 +272,47 @@ pub fn train_ddp(
         let mut logs = Vec::new();
         let mut global_step = 0usize;
         let mut train_seconds = 0.0;
-        for epoch in 0..cfg.epochs {
+        let mut start_epoch = 0usize;
+        let mut resume_skip = 0usize;
+        let mut dl = 0.0;
+        let mut pl = 0.0;
+
+        // Resume negotiation: every rank offers its newest checkpointed
+        // step (−1 when it has none); the run restarts from the newest
+        // step *all* ranks have, so a crash that interrupted some ranks
+        // mid-save rolls everyone back to a consistent state.
+        if let Some(ck) = ckpt {
+            let mine = latest_step(ck, rank).map(|s| s as f64).unwrap_or(-1.0);
+            let offers = comm.allgather(&[mine]);
+            let common = offers.iter().map(|v| v[0]).fold(f64::INFINITY, f64::min);
+            if common >= 0.0 {
+                let state = load_checkpoint(ck, common as usize, rank).unwrap_or_else(|e| {
+                    panic!("rank {rank}: failed to load checkpoint at step {common}: {e}")
+                });
+                net = state.net;
+                opt.import_state(&state.opt);
+                sampler = BatchSampler::restore(&state.sampler_at_epoch_start);
+                global_step = state.step;
+                start_epoch = state.epoch;
+                resume_skip = state.batch_in_epoch;
+                train_seconds = state.train_seconds;
+                dl = state.data_loss_sum;
+                pl = state.pde_loss_sum;
+                logs = state.logs;
+            }
+        }
+
+        for epoch in start_epoch..cfg.epochs {
             let t0 = Instant::now();
-            let mut dl = 0.0;
-            let mut pl = 0.0;
+            // Snapshot the sampler *before* drawing the epoch, so a
+            // checkpoint taken mid-epoch can regenerate the identical
+            // batch list and skip into it.
+            let sampler_at_epoch_start = sampler.state();
+            let skip = if epoch == start_epoch { resume_skip } else { 0 };
+            if skip == 0 {
+                dl = 0.0;
+                pl = 0.0;
+            }
             let batches = sampler.epoch(&shard);
             // Keep ranks in lockstep: all shards have the same batch count
             // because shards differ in size by at most one sample and the
@@ -234,7 +323,7 @@ pub fn train_ddp(
                 batches.len(),
                 "rank {rank}: shard batch counts diverged"
             );
-            for batch in &batches {
+            for (bi, batch) in batches.iter().enumerate().skip(skip) {
                 let lr = schedule.lr_at(global_step);
                 mf_telemetry::span!("train.step", epoch = epoch as f64);
                 let m = crate::step::train_metrics();
@@ -260,6 +349,13 @@ pub fn train_ddp(
                             let p = unflatten_like(&fp, &pg);
                             d.iter().zip(&p).map(|(a, b)| a.add(b)).collect()
                         }
+                        GradSync::OrderedFused => {
+                            let local: Vec<Tensor> =
+                                dg.iter().zip(&pg).map(|(a, b)| a.add(b)).collect();
+                            let mut flat = flatten(&local);
+                            comm.allreduce_mean_ordered(&mut flat);
+                            unflatten_like(&flat, &local)
+                        }
                     }
                 };
                 if let Some(max) = cfg.clip_norm {
@@ -273,6 +369,24 @@ pub fn train_ddp(
                 dl += stats.data_loss;
                 pl += stats.pde_loss;
                 global_step += 1;
+                if let Some(ck) = ckpt {
+                    if global_step.is_multiple_of(ck.every_steps) {
+                        let state = TrainState {
+                            step: global_step,
+                            epoch,
+                            batch_in_epoch: bi + 1,
+                            train_seconds: train_seconds + t0.elapsed().as_secs_f64(),
+                            data_loss_sum: dl,
+                            pde_loss_sum: pl,
+                            net: net.clone(),
+                            opt: opt.export_state(),
+                            sampler_at_epoch_start: sampler_at_epoch_start.clone(),
+                            logs: logs.clone(),
+                        };
+                        save_checkpoint(ck, rank, &state)
+                            .unwrap_or_else(|e| panic!("rank {rank}: checkpoint save failed: {e}"));
+                    }
+                }
             }
             train_seconds += t0.elapsed().as_secs_f64();
             if rank == 0 {
@@ -290,15 +404,15 @@ pub fn train_ddp(
             mf_dist::print_merged_report(comm);
         }
         (net.params.flatten(), logs, comm.stats())
-    });
+    })?;
 
     let comm_stats = results.iter().map(|(_, _, s)| *s).collect();
     let (params_flat, logs, _) = results.into_iter().next().unwrap();
-    DdpResult {
+    Ok(DdpResult {
         params_flat,
         logs,
         comm_stats,
-    }
+    })
 }
 
 fn flatten(grads: &[Tensor]) -> Vec<f64> {

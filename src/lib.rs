@@ -42,15 +42,21 @@ pub use mf_train as train;
 pub mod prelude {
     pub use mf_autodiff::{Graph, Var};
     pub use mf_data::{Batch, BatchSampler, Dataset, SubdomainSpec};
-    pub use mf_dist::{CartesianGrid, Cluster, Communicator, PerfModel, RankOrder};
+    pub use mf_dist::{
+        CartesianGrid, Cluster, ClusterError, CommError, Communicator, CrashAt, FaultPlan,
+        PerfModel, RankOrder, RetryPolicy,
+    };
     pub use mf_gp::{BoundarySampler, Kernel1d, Sobol};
     pub use mf_mfp::{
-        run_distributed, DistMfpConfig, DomainSpec, Mfp, MfpConfig, NeuralSolver, OracleSolver,
-        SubdomainSolver,
+        run_distributed, try_run_distributed, DistMfpConfig, DomainSpec, Mfp, MfpConfig,
+        NeuralSolver, OracleSolver, SubdomainSolver,
     };
     pub use mf_nn::{Activation, EmbeddingKind, SdNet, SdNetConfig};
     pub use mf_opt::{Adam, AdamW, Lamb, LrSchedule, Optimizer, Sgd};
     pub use mf_tensor::Tensor;
     pub use mf_train::trainer::OptKind;
-    pub use mf_train::{evaluate_mse, train_ddp, train_single, GradSync, TrainConfig};
+    pub use mf_train::{
+        evaluate_mse, train_ddp, train_ddp_resumable, train_single, CheckpointConfig, GradSync,
+        TrainConfig,
+    };
 }
