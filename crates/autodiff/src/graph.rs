@@ -1,7 +1,25 @@
 //! The arena graph: node storage, primitive definitions, eager evaluation.
+//!
+//! # Memory model
+//!
+//! The graph owns a [`BufferPool`]: in the default *lean* mode every node
+//! value is acquired from the pool and every buffer is returned to it on
+//! [`Graph::clear`], so a steady-state training step (same shapes every
+//! step) performs near-zero heap allocation after the first warm-up step.
+//! [`Graph::new_legacy`] disables pooling and the fused backward kernels,
+//! reproducing the original allocate-per-node behaviour for before/after
+//! comparisons (`repro_table3`).
+//!
+//! With [`Graph::set_checkpointing`] enabled, [`Graph::evict_dead_values`]
+//! releases the values of nodes whose VJPs never read them (pure structural
+//! ops such as `Add`, slices, broadcasts); if a later operation does need an
+//! evicted value it is recomputed on demand from its (never-evicted) leaf
+//! ancestors — recompute-instead-of-retain checkpointing. All kernels are
+//! deterministic, so a recomputed value is bitwise identical to the evicted
+//! one.
 
 use mf_tensor::Layout;
-use mf_tensor::Tensor;
+use mf_tensor::{BufferPool, PoolStats, Tensor};
 
 /// Handle to a node in a [`Graph`].
 ///
@@ -80,11 +98,40 @@ pub enum Op {
     /// composed implementation needs, which matters because activation
     /// tensors dominate the autograd graph's memory (Table 3).
     Gelu(Var),
+    /// N-ary gradient accumulator: elementwise sum of all inputs.
+    ///
+    /// Emitted by the lean backward pass instead of a chain of binary
+    /// `Add` nodes: when a node's adjoint receives its `k`-th contribution
+    /// the accumulator's buffer is extended in place (axpy-style) and
+    /// re-pushed with the longer input list, so `k` contributions cost one
+    /// buffer instead of `k − 1` intermediates. The VJP distributes the
+    /// incoming gradient to every input in order, reproducing the
+    /// nested-`Add` adjoints bit for bit.
+    AddAcc(Vec<Var>),
+    /// Fused bias broadcast-add `x ⊕ b`: `[q,d] + [1,d] → [q,d]`,
+    /// replacing the `BroadcastRows` + `Add` pair in layer forwards.
+    AddBias(Var, Var),
+    /// Fused tanh backward `g · (1 − y²)` for `y = tanh(x)`; inputs `(g, y)`.
+    TanhVjp(Var, Var),
+    /// Elementwise `1 − y²` (the sech² factor of the tanh derivative).
+    OneMinusSq(Var),
+    /// Fused GELU pre-activation `√(2/π)·(x + c·x³)`; inputs `(x, x³)`.
+    GeluInner(Var, Var),
+    /// Fused GELU inner derivative `√(2/π)·(1 + 3c·x²)`; input `x²`.
+    GeluDu(Var),
+    /// Elementwise `(t + 1) / 2`.
+    HalfOnePlus(Var),
 }
 
 pub(crate) struct Node {
     pub op: Op,
-    pub value: Tensor,
+    /// `None` when the value was checkpoint-evicted (or the node is a
+    /// hollowed-out accumulator superseded by a longer one).
+    pub value: Option<Tensor>,
+    /// Output shape, kept as metadata so shape queries (and therefore the
+    /// whole backward pass structure) never need the possibly-evicted value.
+    pub rows: usize,
+    pub cols: usize,
     pub requires_grad: bool,
 }
 
@@ -103,9 +150,25 @@ pub struct GraphStats {
 /// Typical lifecycle: build leaves for parameters and inputs, run a forward
 /// computation, call [`Graph::grad`] one or more times (each emits adjoint
 /// nodes into the same graph), read gradients with [`Graph::value`], then
-/// drop or [`Graph::clear`] the graph before the next training step.
+/// [`Graph::clear`] the graph (recycling every buffer into the pool) before
+/// the next training step.
 pub struct Graph {
     pub(crate) nodes: Vec<Node>,
+    pool: BufferPool,
+    /// Pool-recycled buffers + fused backward kernels (default). `false`
+    /// reproduces the original allocate-per-node tape for benchmarking.
+    lean: bool,
+    /// Opt-in checkpointing: [`Graph::evict_dead_values`] is a no-op
+    /// unless set.
+    ckpt: bool,
+    /// Capacity bytes of all live node values.
+    live_bytes: usize,
+    /// High-water mark of `live_bytes` since the last [`Graph::clear`].
+    peak_bytes: usize,
+    /// Buffers obtained from the heap instead of the pool: pool misses,
+    /// legacy-mode allocations, and adopted external buffers
+    /// ([`Graph::leaf`] / [`Graph::constant`]).
+    heap_allocs: u64,
 }
 
 impl Default for Graph {
@@ -115,14 +178,60 @@ impl Default for Graph {
 }
 
 impl Graph {
-    /// Empty graph.
+    /// Empty graph in lean (pooled, fused-backward) mode.
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self {
+            nodes: Vec::new(),
+            pool: BufferPool::new(),
+            lean: true,
+            ckpt: false,
+            live_bytes: 0,
+            peak_bytes: 0,
+            heap_allocs: 0,
+        }
     }
 
-    /// Drop all nodes (start a fresh tape while keeping the allocation).
+    /// Empty graph with pooling and fused backward kernels disabled: every
+    /// node value is a fresh exact-size heap allocation and the backward
+    /// pass emits the original unfused VJP chains. Used by the memory
+    /// benchmarks as the "before" baseline and by the equivalence proptests.
+    pub fn new_legacy() -> Self {
+        Self {
+            lean: false,
+            ..Self::new()
+        }
+    }
+
+    /// Whether this graph runs in lean (pooled + fused) mode.
+    pub fn is_lean(&self) -> bool {
+        self.lean
+    }
+
+    /// Enable or disable checkpointed segments: when enabled,
+    /// [`Graph::evict_dead_values`] frees values the backward pass can
+    /// recompute on demand.
+    pub fn set_checkpointing(&mut self, on: bool) {
+        self.ckpt = on;
+    }
+
+    /// Whether checkpoint eviction is enabled.
+    pub fn checkpointing(&self) -> bool {
+        self.ckpt
+    }
+
+    /// Drop all nodes and recycle their buffers into the pool, starting a
+    /// fresh tape. Pool contents survive, so the next identically-shaped
+    /// step is served entirely from recycled memory.
     pub fn clear(&mut self) {
-        self.nodes.clear();
+        for node in self.nodes.drain(..) {
+            if let Some(v) = node.value {
+                if self.lean {
+                    self.pool.release(v);
+                }
+            }
+        }
+        self.live_bytes = 0;
+        self.peak_bytes = 0;
     }
 
     /// Number of recorded nodes.
@@ -135,9 +244,33 @@ impl Graph {
         self.nodes.is_empty()
     }
 
-    /// Bytes held by all node value buffers.
+    /// Capacity bytes held by all live node value buffers — what the heap
+    /// allocator actually sees, including gradient (adjoint) nodes, which
+    /// are ordinary nodes on this tape.
     pub fn bytes_allocated(&self) -> usize {
-        self.nodes.iter().map(|n| n.value.nbytes()).sum()
+        self.live_bytes
+    }
+
+    /// High-water mark of [`Graph::bytes_allocated`] since the last
+    /// [`Graph::clear`].
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Cumulative counters of the owned buffer pool.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Bytes parked in the pool's freelists (recycled, reusable).
+    pub fn pool_held_bytes(&self) -> usize {
+        self.pool.held_bytes()
+    }
+
+    /// Buffers this graph obtained from the heap rather than the pool
+    /// (pool misses, legacy-mode allocations, adopted external buffers).
+    pub fn heap_allocs(&self) -> u64 {
+        self.heap_allocs
     }
 
     /// Node and byte counts in one call.
@@ -149,8 +282,24 @@ impl Graph {
     }
 
     /// The computed value of a variable.
+    ///
+    /// Panics if the value was checkpoint-evicted; internal consumers
+    /// rematerialize via `Graph::ensure_live` first.
     pub fn value(&self, v: Var) -> &Tensor {
-        &self.nodes[v.0].value
+        self.nodes[v.0].value.as_ref().unwrap_or_else(|| {
+            panic!(
+                "value of node {} was checkpoint-evicted; call an op on it (which \
+                 rematerializes) or read it before evict_dead_values()",
+                v.0
+            )
+        })
+    }
+
+    /// Output shape of a variable, from metadata (works even when the
+    /// value is evicted).
+    pub fn shape_of(&self, v: Var) -> (usize, usize) {
+        let n = &self.nodes[v.0];
+        (n.rows, n.cols)
     }
 
     /// Whether gradients flow through this variable.
@@ -163,25 +312,75 @@ impl Graph {
         &self.nodes[v.0].op
     }
 
-    /// Record a differentiable leaf (parameter or input).
+    /// Record a differentiable leaf (parameter or input), adopting an
+    /// externally-allocated buffer.
     pub fn leaf(&mut self, value: Tensor) -> Var {
+        self.heap_allocs += 1;
         self.push(Op::Leaf, value, true)
     }
 
-    /// Record a non-differentiable constant.
+    /// Record a non-differentiable constant, adopting an
+    /// externally-allocated buffer.
     pub fn constant(&mut self, value: Tensor) -> Var {
+        self.heap_allocs += 1;
         self.push(Op::Const, value, false)
     }
 
-    /// Convenience: a `1×1` constant.
+    /// Record a differentiable leaf by copying `t` into a pooled buffer
+    /// (the allocation-lean alternative to `leaf(t.clone())`).
+    pub fn leaf_from(&mut self, t: &Tensor) -> Var {
+        let v = self.pooled_copy(t);
+        self.push(Op::Leaf, v, true)
+    }
+
+    /// Record a constant by copying `t` into a pooled buffer
+    /// (the allocation-lean alternative to `constant(t.clone())`).
+    pub fn constant_from(&mut self, t: &Tensor) -> Var {
+        let v = self.pooled_copy(t);
+        self.push(Op::Const, v, false)
+    }
+
+    /// Convenience: a `1×1` constant (pool-backed).
     pub fn constant_scalar(&mut self, v: f64) -> Var {
-        self.constant(Tensor::scalar(v))
+        let mut t = self.alloc(1, 1);
+        t.set(0, 0, v);
+        self.push(Op::Const, t, false)
+    }
+
+    fn pooled_copy(&mut self, t: &Tensor) -> Tensor {
+        let (r, c) = t.shape();
+        let mut out = self.alloc(r, c);
+        t.copy_into(&mut out);
+        out
+    }
+
+    /// A zero-filled `rows×cols` tensor: pool-recycled in lean mode, a
+    /// fresh exact-size heap allocation otherwise.
+    pub(crate) fn alloc(&mut self, rows: usize, cols: usize) -> Tensor {
+        if self.lean {
+            let before = self.pool.stats().misses;
+            let t = self.pool.acquire(rows, cols);
+            if self.pool.stats().misses > before {
+                self.heap_allocs += 1;
+            }
+            t
+        } else {
+            self.heap_allocs += 1;
+            Tensor::zeros(rows, cols)
+        }
     }
 
     pub(crate) fn push(&mut self, op: Op, value: Tensor, requires_grad: bool) -> Var {
+        let (rows, cols) = value.shape();
+        self.live_bytes += value.capacity_bytes();
+        if self.live_bytes > self.peak_bytes {
+            self.peak_bytes = self.live_bytes;
+        }
         self.nodes.push(Node {
             op,
-            value,
+            value: Some(value),
+            rows,
+            cols,
             requires_grad,
         });
         Var(self.nodes.len() - 1)
@@ -191,19 +390,120 @@ impl Graph {
         let rg = op_inputs(&op).iter().any(|v| self.nodes[v.0].requires_grad);
         self.push(op, value, rg)
     }
+
+    /// Remove and return a node's value (used when extending an `AddAcc`
+    /// accumulator in place: the hollowed node stays on the tape but is
+    /// referenced by nothing).
+    pub(crate) fn take_value(&mut self, v: Var) -> Tensor {
+        let t = self.nodes[v.0]
+            .value
+            .take()
+            .expect("take_value: node already hollow");
+        self.live_bytes -= t.capacity_bytes();
+        t
+    }
+
+    /// Rematerialize `v` (and any evicted ancestors, in topological order)
+    /// if its value was checkpoint-evicted. Deterministic kernels make the
+    /// recomputed value bitwise identical to the evicted one.
+    pub(crate) fn ensure_live(&mut self, v: Var) {
+        if self.nodes[v.0].value.is_some() {
+            return;
+        }
+        let mut dead: Vec<usize> = Vec::new();
+        let mut stack = vec![v.0];
+        while let Some(i) = stack.pop() {
+            if self.nodes[i].value.is_some() || dead.contains(&i) {
+                continue;
+            }
+            dead.push(i);
+            for inp in op_inputs(&self.nodes[i].op) {
+                if self.nodes[inp.0].value.is_none() {
+                    stack.push(inp.0);
+                }
+            }
+        }
+        dead.sort_unstable();
+        for i in dead {
+            let op = self.nodes[i].op.clone();
+            let val = self.eval_live(&op);
+            self.live_bytes += val.capacity_bytes();
+            if self.live_bytes > self.peak_bytes {
+                self.peak_bytes = self.live_bytes;
+            }
+            self.nodes[i].value = Some(val);
+        }
+    }
+
+    /// Release the values of nodes that no future backward pass reads:
+    /// everything except leaves/constants, `Tanh`/`Exp` outputs (their
+    /// VJPs read their own output), inputs of ops whose VJPs read input
+    /// values (`Mul`, `MatMul`, `Sin`, `Cos`, `Gelu`, `TanhVjp`,
+    /// `OneMinusSq`), and the explicitly `protect`ed variables.
+    ///
+    /// No-op unless checkpointing is enabled ([`Graph::set_checkpointing`]).
+    /// Evicting is always safe — a value that does turn out to be needed is
+    /// recomputed bitwise-identically — the rule above just avoids evicting
+    /// what is certain to be recomputed.
+    pub fn evict_dead_values(&mut self, protect: &[Var]) {
+        if !self.ckpt {
+            return;
+        }
+        let n = self.nodes.len();
+        let mut keep = vec![false; n];
+        for node in &self.nodes {
+            match node.op {
+                Op::Mul(..)
+                | Op::MatMul(..)
+                | Op::Sin(..)
+                | Op::Cos(..)
+                | Op::Gelu(..)
+                | Op::TanhVjp(..)
+                | Op::OneMinusSq(..) => {
+                    for v in op_inputs(&node.op) {
+                        keep[v.0] = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for p in protect {
+            keep[p.0] = true;
+        }
+        for (i, kept) in keep.iter().enumerate().take(n) {
+            if *kept
+                || matches!(
+                    self.nodes[i].op,
+                    Op::Leaf | Op::Const | Op::Tanh(_) | Op::Exp(_)
+                )
+            {
+                continue;
+            }
+            if let Some(val) = self.nodes[i].value.take() {
+                self.live_bytes -= val.capacity_bytes();
+                if self.lean {
+                    self.pool.release(val);
+                }
+            }
+        }
+    }
 }
 
 /// The input variables of an operation, in a fixed small buffer.
 pub(crate) fn op_inputs(op: &Op) -> Vec<Var> {
     use Op::*;
-    match *op {
+    match op {
         Leaf | Const => vec![],
+        AddAcc(inputs) => inputs.clone(),
         Add(a, b)
         | Sub(a, b)
         | Mul(a, b)
         | MatMul(a, _, b, _)
         | ConcatCols(a, b)
-        | ConcatRows(a, b) => vec![a, b],
+        | ConcatRows(a, b)
+        | AddBias(a, b)
+        | TanhVjp(a, b)
+        | GeluInner(a, b) => vec![*a, *b],
         Neg(a)
         | Scale(a, _)
         | AddScalar(a, _)
@@ -226,7 +526,10 @@ pub(crate) fn op_inputs(op: &Op) -> Vec<Var> {
         | Exp(a)
         | Gelu(a)
         | Sin(a)
-        | Cos(a) => vec![a],
+        | Cos(a)
+        | OneMinusSq(a)
+        | GeluDu(a)
+        | HalfOnePlus(a) => vec![*a],
     }
 }
 
@@ -274,5 +577,127 @@ mod tests {
         let s = g.stats();
         assert_eq!(s.nodes, 2);
         assert_eq!(s.bytes, 2 * 64 * 8);
+    }
+
+    #[test]
+    fn clear_recycles_buffers_into_pool() {
+        let mut g = Graph::new();
+        let a = g.leaf_from(&Tensor::ones(8, 8));
+        let _ = g.mul(a, a);
+        let misses_first = g.pool_stats().misses;
+        assert!(misses_first >= 2);
+        g.clear();
+        assert!(g.pool_held_bytes() >= 2 * 64 * 8);
+        // The identical second build is served entirely from the pool.
+        let a = g.leaf_from(&Tensor::ones(8, 8));
+        let _ = g.mul(a, a);
+        assert_eq!(g.pool_stats().misses, misses_first);
+        assert_eq!(g.pool_stats().hits, 2);
+    }
+
+    #[test]
+    fn peak_bytes_is_high_water_mark() {
+        let mut g = Graph::new();
+        let a = g.leaf_from(&Tensor::ones(8, 8));
+        let m = g.mul(a, a);
+        let _ = g.sum(m);
+        let peak = g.peak_bytes();
+        assert!(peak >= g.bytes_allocated());
+        assert!(peak >= 2 * 64 * 8);
+        g.clear();
+        assert_eq!(g.peak_bytes(), 0);
+    }
+
+    #[test]
+    fn legacy_and_lean_forward_values_agree_bitwise() {
+        let build = |g: &mut Graph| {
+            let x = g.leaf(Tensor::from_fn(3, 4, |r, c| ((r * 4 + c) as f64).sin()));
+            let w = g.leaf(Tensor::from_fn(2, 4, |r, c| ((r + c) as f64 * 0.3).cos()));
+            let y = g.matmul_layout(x, Layout::Normal, w, Layout::Transposed);
+            let t = g.tanh(y);
+            g.mean(t)
+        };
+        let mut lean = Graph::new();
+        let mut legacy = Graph::new_legacy();
+        let a = build(&mut lean);
+        let b = build(&mut legacy);
+        for (x, y) in lean
+            .value(a)
+            .as_slice()
+            .iter()
+            .zip(legacy.value(b).as_slice())
+        {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn eviction_and_remat_are_bitwise_identical() {
+        let mut g = Graph::new();
+        g.set_checkpointing(true);
+        let x = g.leaf(Tensor::from_fn(2, 3, |r, c| {
+            (r as f64 + 1.3) * (c as f64 - 0.7)
+        }));
+        let s = g.scale(x, 1.7);
+        let a = g.add_scalar(s, 0.25);
+        let before = g.value(a).clone();
+        g.evict_dead_values(&[]);
+        assert!(
+            g.nodes[a.0].value.is_none(),
+            "Add-scalar output should evict"
+        );
+        assert_eq!(g.shape_of(a), (2, 3));
+        // Consuming the evicted var rematerializes it (and its ancestors).
+        let t = g.tanh(a);
+        assert_eq!(g.shape_of(t), (2, 3));
+        for (x, y) in g.value(a).as_slice().iter().zip(before.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn evict_protects_requested_vars() {
+        let mut g = Graph::new();
+        g.set_checkpointing(true);
+        let x = g.leaf(Tensor::ones(2, 2));
+        let s = g.scale(x, 2.0);
+        g.evict_dead_values(&[s]);
+        assert!(g.nodes[s.0].value.is_some());
+    }
+
+    #[test]
+    fn evict_is_noop_without_checkpointing() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::ones(2, 2));
+        let s = g.scale(x, 2.0);
+        g.evict_dead_values(&[]);
+        assert!(g.nodes[s.0].value.is_some());
+    }
+
+    #[test]
+    fn heap_allocs_stop_after_warmup() {
+        let mut g = Graph::new();
+        for step in 0..3 {
+            let x = g.leaf_from(&Tensor::ones(4, 4));
+            let y = g.mul(x, x);
+            let _ = g.sum(y);
+            if step == 0 {
+                assert!(g.heap_allocs() > 0);
+            }
+            let after_warmup = g.heap_allocs();
+            g.clear();
+            if step > 0 {
+                assert_eq!(g.heap_allocs(), after_warmup);
+            }
+        }
+        let before = g.heap_allocs();
+        let x = g.leaf_from(&Tensor::ones(4, 4));
+        let y = g.mul(x, x);
+        let _ = g.sum(y);
+        assert_eq!(
+            g.heap_allocs(),
+            before,
+            "steady-state step must not allocate"
+        );
     }
 }

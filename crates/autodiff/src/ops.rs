@@ -2,9 +2,14 @@
 //!
 //! Each method computes the value immediately with `mf-tensor` kernels and
 //! records the [`Op`] so the backward pass can differentiate it later.
+//!
+//! All values flow through a single evaluator ([`Graph::eval_live`]) that
+//! writes into pool-recycled buffers in lean mode: eager execution and
+//! checkpoint rematerialization share the exact same kernel calls, so a
+//! recomputed value is bitwise identical to the original.
 
-use crate::graph::{Graph, Op, Var};
-use mf_tensor::{fold1d_circular, gemm, unfold1d_circular, Layout, Tensor};
+use crate::graph::{op_inputs, Graph, Op, Var};
+use mf_tensor::{fold1d_circular_into, gemm_into, unfold1d_circular_into, Layout, Tensor};
 
 /// Constant `√(2/π)` of the GELU tanh approximation.
 pub(crate) const GELU_SQRT_2_OVER_PI: f64 = 0.797_884_560_802_865_4;
@@ -18,40 +23,286 @@ pub(crate) fn gelu_scalar(x: f64) -> f64 {
 }
 
 impl Graph {
+    /// Rematerialize evicted inputs, then evaluate `op` into a fresh
+    /// (pooled) buffer.
+    fn eval(&mut self, op: &Op) -> Tensor {
+        if self.checkpointing() {
+            for v in op_inputs(op) {
+                self.ensure_live(v);
+            }
+        }
+        self.eval_live(op)
+    }
+
+    /// Evaluate `op` assuming every input value is live. The single source
+    /// of truth for primitive semantics — eager ops and checkpoint
+    /// rematerialization both land here.
+    pub(crate) fn eval_live(&mut self, op: &Op) -> Tensor {
+        match *op {
+            Op::Leaf | Op::Const => {
+                unreachable!("leaves and constants are never re-evaluated")
+            }
+            Op::Add(a, b) => {
+                let mut out = self.alloc_like(a);
+                self.value(a).add_into(self.value(b), &mut out);
+                out
+            }
+            Op::Sub(a, b) => {
+                let mut out = self.alloc_like(a);
+                self.value(a).sub_into(self.value(b), &mut out);
+                out
+            }
+            Op::Mul(a, b) => {
+                let mut out = self.alloc_like(a);
+                self.value(a).mul_into(self.value(b), &mut out);
+                out
+            }
+            Op::Neg(a) => {
+                let mut out = self.alloc_like(a);
+                self.value(a).scale_into(-1.0, &mut out);
+                out
+            }
+            Op::Scale(a, s) => {
+                let mut out = self.alloc_like(a);
+                self.value(a).scale_into(s, &mut out);
+                out
+            }
+            Op::AddScalar(a, s) => {
+                let mut out = self.alloc_like(a);
+                self.value(a).add_scalar_into(s, &mut out);
+                out
+            }
+            Op::MatMul(a, la, b, lb) => {
+                let (ar, ac) = self.shape_of(a);
+                let (br, bc) = self.shape_of(b);
+                let m = match la {
+                    Layout::Normal => ar,
+                    Layout::Transposed => ac,
+                };
+                let n = match lb {
+                    Layout::Normal => bc,
+                    Layout::Transposed => br,
+                };
+                // gemm_into accumulates into the zeroed output, which is
+                // exactly what the allocating gemm does internally.
+                let mut out = self.alloc(m, n);
+                gemm_into(self.value(a), la, self.value(b), lb, &mut out);
+                out
+            }
+            Op::Transpose(a) => {
+                let (r, c) = self.shape_of(a);
+                let mut out = self.alloc(c, r);
+                self.value(a).transpose_into(&mut out);
+                out
+            }
+            Op::SumAll(a) => {
+                let s = self.value(a).sum();
+                let mut out = self.alloc(1, 1);
+                out.set(0, 0, s);
+                out
+            }
+            Op::MeanAll(a) => {
+                let s = self.value(a).mean();
+                let mut out = self.alloc(1, 1);
+                out.set(0, 0, s);
+                out
+            }
+            Op::SumAxis0(a) => {
+                let c = self.shape_of(a).1;
+                let mut out = self.alloc(1, c);
+                self.value(a).sum_axis0_into(&mut out);
+                out
+            }
+            Op::BroadcastRows(a, q) | Op::RepeatRows(a, q) => {
+                let (b, d) = self.shape_of(a);
+                let mut out = self.alloc(b * q, d);
+                self.value(a).repeat_rows_into(q, &mut out);
+                out
+            }
+            Op::BroadcastScalar(a, r, c) => {
+                let s = self.value(a).item();
+                let mut out = self.alloc(r, c);
+                out.as_mut_slice().fill(s);
+                out
+            }
+            Op::SumGroups(a, q) => {
+                let (bq, d) = self.shape_of(a);
+                let mut out = self.alloc(bq / q, d);
+                self.value(a).sum_groups_into(q, &mut out);
+                out
+            }
+            Op::Reshape(a, rows, cols) => {
+                let mut out = self.alloc(rows, cols);
+                self.value(a).copy_into(&mut out);
+                out
+            }
+            Op::SliceCols(a, start, len) => {
+                let r = self.shape_of(a).0;
+                let mut out = self.alloc(r, len);
+                self.value(a).slice_cols_into(start, len, &mut out);
+                out
+            }
+            Op::PadCols(a, start, total) => {
+                let r = self.shape_of(a).0;
+                let mut out = self.alloc(r, total);
+                self.value(a).pad_cols_into(start, total, &mut out);
+                out
+            }
+            Op::SliceRows(a, start, len) => {
+                let c = self.shape_of(a).1;
+                let mut out = self.alloc(len, c);
+                self.value(a).slice_rows_into(start, len, &mut out);
+                out
+            }
+            Op::PadRows(a, start, total) => {
+                let c = self.shape_of(a).1;
+                let mut out = self.alloc(total, c);
+                self.value(a).pad_rows_into(start, total, &mut out);
+                out
+            }
+            Op::ConcatCols(a, b) => {
+                let (r, ca) = self.shape_of(a);
+                let cb = self.shape_of(b).1;
+                let mut out = self.alloc(r, ca + cb);
+                self.value(a).concat_cols_into(self.value(b), &mut out);
+                out
+            }
+            Op::ConcatRows(a, b) => {
+                let (ra, c) = self.shape_of(a);
+                let rb = self.shape_of(b).0;
+                let mut out = self.alloc(ra + rb, c);
+                self.value(a).concat_rows_into(self.value(b), &mut out);
+                out
+            }
+            Op::Unfold1d(a, channels, k) => {
+                let (b, width) = self.shape_of(a);
+                let len = width / channels;
+                let mut out = self.alloc(b * len, k * channels);
+                unfold1d_circular_into(self.value(a), channels, k, &mut out);
+                out
+            }
+            Op::Fold1d(a, b, channels, k) => {
+                let rows = self.shape_of(a).0;
+                let len = rows / b;
+                let mut out = self.alloc(b, len * channels);
+                fold1d_circular_into(self.value(a), b, channels, k, &mut out);
+                out
+            }
+            Op::Tanh(a) => {
+                let mut out = self.alloc_like(a);
+                self.value(a).map_into(&mut out, f64::tanh);
+                out
+            }
+            Op::Exp(a) => {
+                let mut out = self.alloc_like(a);
+                self.value(a).map_into(&mut out, f64::exp);
+                out
+            }
+            Op::Sin(a) => {
+                let mut out = self.alloc_like(a);
+                self.value(a).map_into(&mut out, f64::sin);
+                out
+            }
+            Op::Cos(a) => {
+                let mut out = self.alloc_like(a);
+                self.value(a).map_into(&mut out, f64::cos);
+                out
+            }
+            Op::Gelu(a) => {
+                let mut out = self.alloc_like(a);
+                self.value(a).map_into(&mut out, gelu_scalar);
+                out
+            }
+            Op::AddAcc(ref inputs) => {
+                // Incremental accumulation: copy the first contribution and
+                // add_assign the rest, matching both the zip-add of the
+                // two-input case and the in-place extension path bitwise.
+                let first = inputs[0];
+                let mut out = self.alloc_like(first);
+                self.value(first).copy_into(&mut out);
+                for &inp in &inputs[1..] {
+                    out.add_assign(self.value(inp));
+                }
+                out
+            }
+            Op::AddBias(x, b) => {
+                let mut out = self.alloc_like(x);
+                self.value(x)
+                    .broadcast_row_add_into(self.value(b), &mut out);
+                out
+            }
+            Op::TanhVjp(gv, y) => {
+                let mut out = self.alloc_like(gv);
+                self.value(gv)
+                    .zip_map_into(self.value(y), &mut out, |g, t| g * (1.0 - t * t));
+                out
+            }
+            Op::OneMinusSq(y) => {
+                let mut out = self.alloc_like(y);
+                self.value(y).map_into(&mut out, |t| 1.0 - t * t);
+                out
+            }
+            Op::GeluInner(x, x3) => {
+                let mut out = self.alloc_like(x);
+                self.value(x)
+                    .zip_map_into(self.value(x3), &mut out, |a, c| {
+                        (a + c * GELU_C) * GELU_SQRT_2_OVER_PI
+                    });
+                out
+            }
+            Op::GeluDu(x2) => {
+                let mut out = self.alloc_like(x2);
+                self.value(x2).map_into(&mut out, |a| {
+                    (a * (3.0 * GELU_C) + 1.0) * GELU_SQRT_2_OVER_PI
+                });
+                out
+            }
+            Op::HalfOnePlus(t) => {
+                let mut out = self.alloc_like(t);
+                self.value(t).map_into(&mut out, |a| (a + 1.0) * 0.5);
+                out
+            }
+        }
+    }
+
+    fn alloc_like(&mut self, a: Var) -> Tensor {
+        let (r, c) = self.shape_of(a);
+        self.alloc(r, c)
+    }
+
+    fn record(&mut self, op: Op) -> Var {
+        let v = self.eval(&op);
+        self.push_op(op, v)
+    }
+
     /// Elementwise `a + b`.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).add(self.value(b));
-        self.push_op(Op::Add(a, b), v)
+        self.record(Op::Add(a, b))
     }
 
     /// Elementwise `a - b`.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).sub(self.value(b));
-        self.push_op(Op::Sub(a, b), v)
+        self.record(Op::Sub(a, b))
     }
 
     /// Elementwise `a * b`.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).mul(self.value(b));
-        self.push_op(Op::Mul(a, b), v)
+        self.record(Op::Mul(a, b))
     }
 
     /// Elementwise negation.
     pub fn neg(&mut self, a: Var) -> Var {
-        let v = self.value(a).scale(-1.0);
-        self.push_op(Op::Neg(a), v)
+        self.record(Op::Neg(a))
     }
 
     /// Multiply by a scalar constant.
     pub fn scale(&mut self, a: Var, s: f64) -> Var {
-        let v = self.value(a).scale(s);
-        self.push_op(Op::Scale(a, s), v)
+        self.record(Op::Scale(a, s))
     }
 
     /// Add a scalar constant.
     pub fn add_scalar(&mut self, a: Var, s: f64) -> Var {
-        let v = self.value(a).add_scalar(s);
-        self.push_op(Op::AddScalar(a, s), v)
+        self.record(Op::AddScalar(a, s))
     }
 
     /// Elementwise square, recorded as `a * a`.
@@ -66,49 +317,42 @@ impl Graph {
 
     /// Dense matrix product with explicit operand layouts.
     pub fn matmul_layout(&mut self, a: Var, la: Layout, b: Var, lb: Layout) -> Var {
-        let v = gemm(self.value(a), la, self.value(b), lb);
-        self.push_op(Op::MatMul(a, la, b, lb), v)
+        self.record(Op::MatMul(a, la, b, lb))
     }
 
     /// Matrix transpose.
     pub fn transpose(&mut self, a: Var) -> Var {
-        let v = self.value(a).transpose();
-        self.push_op(Op::Transpose(a), v)
+        self.record(Op::Transpose(a))
     }
 
     /// Sum of all elements (`1×1` result).
     pub fn sum(&mut self, a: Var) -> Var {
-        let v = Tensor::scalar(self.value(a).sum());
-        self.push_op(Op::SumAll(a), v)
+        self.record(Op::SumAll(a))
     }
 
     /// Mean of all elements (`1×1` result).
     pub fn mean(&mut self, a: Var) -> Var {
-        let v = Tensor::scalar(self.value(a).mean());
-        self.push_op(Op::MeanAll(a), v)
+        self.record(Op::MeanAll(a))
     }
 
     /// Sum over rows: `[q,d] → [1,d]`.
     pub fn sum_axis0(&mut self, a: Var) -> Var {
-        let v = self.value(a).sum_axis0();
-        self.push_op(Op::SumAxis0(a), v)
+        self.record(Op::SumAxis0(a))
     }
 
     /// Broadcast a `1×d` row to `q×d`.
     pub fn broadcast_rows(&mut self, a: Var, q: usize) -> Var {
         assert_eq!(
-            self.value(a).rows(),
+            self.shape_of(a).0,
             1,
             "broadcast_rows: input must be a row vector"
         );
-        let v = self.value(a).repeat_rows(q);
-        self.push_op(Op::BroadcastRows(a, q), v)
+        self.record(Op::BroadcastRows(a, q))
     }
 
     /// Broadcast a `1×1` scalar to `r×c`.
     pub fn broadcast_scalar(&mut self, a: Var, r: usize, c: usize) -> Var {
-        let s = self.value(a).item();
-        self.push_op(Op::BroadcastScalar(a, r, c), Tensor::full(r, c, s))
+        self.record(Op::BroadcastScalar(a, r, c))
     }
 
     /// Repeat each row `q` times consecutively: `[B,d] → [B·q,d]`.
@@ -117,92 +361,77 @@ impl Graph {
     /// per-boundary embedding is shared across that boundary's `q` query
     /// points.
     pub fn repeat_rows(&mut self, a: Var, q: usize) -> Var {
-        let v = self.value(a).repeat_rows(q);
-        self.push_op(Op::RepeatRows(a, q), v)
+        self.record(Op::RepeatRows(a, q))
     }
 
     /// Sum consecutive groups of `q` rows: `[B·q,d] → [B,d]`.
     pub fn sum_groups(&mut self, a: Var, q: usize) -> Var {
-        let v = self.value(a).sum_groups(q);
-        self.push_op(Op::SumGroups(a, q), v)
+        self.record(Op::SumGroups(a, q))
     }
 
     /// Metadata reshape.
     pub fn reshape(&mut self, a: Var, rows: usize, cols: usize) -> Var {
-        let v = self.value(a).reshape(rows, cols);
-        self.push_op(Op::Reshape(a, rows, cols), v)
+        self.record(Op::Reshape(a, rows, cols))
     }
 
     /// Columns `[start, start+len)`.
     pub fn slice_cols(&mut self, a: Var, start: usize, len: usize) -> Var {
-        let v = self.value(a).slice_cols(start, len);
-        self.push_op(Op::SliceCols(a, start, len), v)
+        self.record(Op::SliceCols(a, start, len))
     }
 
     /// Embed as columns `[start, …)` of a width-`total` zero matrix.
     pub fn pad_cols(&mut self, a: Var, start: usize, total: usize) -> Var {
-        let v = self.value(a).pad_cols(start, total);
-        self.push_op(Op::PadCols(a, start, total), v)
+        self.record(Op::PadCols(a, start, total))
     }
 
     /// Rows `[start, start+len)`.
     pub fn slice_rows(&mut self, a: Var, start: usize, len: usize) -> Var {
-        let v = self.value(a).slice_rows(start, len);
-        self.push_op(Op::SliceRows(a, start, len), v)
+        self.record(Op::SliceRows(a, start, len))
     }
 
     /// Embed as rows `[start, …)` of a height-`total` zero matrix.
     pub fn pad_rows(&mut self, a: Var, start: usize, total: usize) -> Var {
-        let v = self.value(a).pad_rows(start, total);
-        self.push_op(Op::PadRows(a, start, total), v)
+        self.record(Op::PadRows(a, start, total))
     }
 
     /// Horizontal concatenation `[a | b]`.
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).concat_cols(self.value(b));
-        self.push_op(Op::ConcatCols(a, b), v)
+        self.record(Op::ConcatCols(a, b))
     }
 
     /// Vertical concatenation `[a; b]`.
     pub fn concat_rows(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).concat_rows(self.value(b));
-        self.push_op(Op::ConcatRows(a, b), v)
+        self.record(Op::ConcatRows(a, b))
     }
 
     /// Circular 1-D unfold (im2col) of a position-major multi-channel signal.
     pub fn unfold1d(&mut self, a: Var, channels: usize, k: usize) -> Var {
-        let v = unfold1d_circular(self.value(a), channels, k);
-        self.push_op(Op::Unfold1d(a, channels, k), v)
+        self.record(Op::Unfold1d(a, channels, k))
     }
 
     /// Adjoint of [`Graph::unfold1d`] (scatter-add of windows).
     pub fn fold1d(&mut self, a: Var, b: usize, channels: usize, k: usize) -> Var {
-        let v = fold1d_circular(self.value(a), b, channels, k);
-        self.push_op(Op::Fold1d(a, b, channels, k), v)
+        self.record(Op::Fold1d(a, b, channels, k))
     }
 
     /// Elementwise `tanh`.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f64::tanh);
-        self.push_op(Op::Tanh(a), v)
+        self.record(Op::Tanh(a))
     }
 
     /// Elementwise `exp`.
     pub fn exp(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f64::exp);
-        self.push_op(Op::Exp(a), v)
+        self.record(Op::Exp(a))
     }
 
     /// Elementwise `sin`.
     pub fn sin(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f64::sin);
-        self.push_op(Op::Sin(a), v)
+        self.record(Op::Sin(a))
     }
 
     /// Elementwise `cos`.
     pub fn cos(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f64::cos);
-        self.push_op(Op::Cos(a), v)
+        self.record(Op::Cos(a))
     }
 
     /// Mean squared error between `pred` and `target` (usually a constant).
@@ -218,8 +447,54 @@ impl Graph {
     /// The VJP is emitted in terms of other differentiable primitives, so
     /// higher-order derivatives (the PDE loss) still work.
     pub fn gelu(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(gelu_scalar);
-        self.push_op(Op::Gelu(x), v)
+        self.record(Op::Gelu(x))
+    }
+
+    /// Fused broadcast bias add: `x + broadcast_rows(b)` for `x: [q,d]`,
+    /// `b: [1,d]`, in one node instead of a `BroadcastRows` + `Add` pair —
+    /// the broadcasted bias matrix is never materialized.
+    ///
+    /// In legacy (non-lean) mode this falls back to the original two-node
+    /// chain so allocation benchmarks compare against true `main` behaviour.
+    pub fn add_bias(&mut self, x: Var, b: Var) -> Var {
+        assert_eq!(self.shape_of(b).0, 1, "add_bias: bias must be a row vector");
+        assert_eq!(
+            self.shape_of(x).1,
+            self.shape_of(b).1,
+            "add_bias: column mismatch"
+        );
+        if !self.is_lean() {
+            let q = self.shape_of(x).0;
+            let bb = self.broadcast_rows(b, q);
+            return self.add(x, bb);
+        }
+        self.record(Op::AddBias(x, b))
+    }
+
+    /// Fused tanh backward `g · (1 − y²)` where `y = tanh(x)` (one node
+    /// instead of the four-node `mul`/`neg`/`add_scalar`/`mul` chain).
+    pub fn tanh_vjp(&mut self, g: Var, y: Var) -> Var {
+        self.record(Op::TanhVjp(g, y))
+    }
+
+    /// Elementwise `1 − y²`, fused (the sech² factor of `d tanh`).
+    pub fn one_minus_sq(&mut self, y: Var) -> Var {
+        self.record(Op::OneMinusSq(y))
+    }
+
+    /// Fused GELU pre-activation `√(2/π) (x + c·x³)` from `x` and `x³`.
+    pub fn gelu_inner(&mut self, x: Var, x3: Var) -> Var {
+        self.record(Op::GeluInner(x, x3))
+    }
+
+    /// Fused GELU inner derivative `√(2/π) (1 + 3c·x²)` from `x²`.
+    pub fn gelu_du(&mut self, x2: Var) -> Var {
+        self.record(Op::GeluDu(x2))
+    }
+
+    /// Elementwise `(t + 1) / 2`, fused.
+    pub fn half_one_plus(&mut self, t: Var) -> Var {
+        self.record(Op::HalfOnePlus(t))
     }
 }
 
@@ -281,5 +556,56 @@ mod tests {
         let sig = g.leaf(Tensor::row_vector(&[0.0, 1.0, 2.0, 3.0]));
         let u = g.unfold1d(sig, 1, 3);
         assert_eq!(g.value(u).row(0), &[3.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn add_bias_matches_broadcast_add_in_both_modes() {
+        let x_t = Tensor::from_fn(3, 2, |r, c| (r * 2 + c) as f64);
+        let b_t = Tensor::row_vector(&[10.0, 20.0]);
+        let via_fused = {
+            let mut g = Graph::new();
+            let x = g.leaf(x_t.clone());
+            let b = g.leaf(b_t.clone());
+            let y = g.add_bias(x, b);
+            g.value(y).clone()
+        };
+        let via_legacy = {
+            let mut g = Graph::new_legacy();
+            let x = g.leaf(x_t.clone());
+            let b = g.leaf(b_t.clone());
+            let y = g.add_bias(x, b);
+            g.value(y).clone()
+        };
+        assert_eq!(via_fused.as_slice(), &[10.0, 21.0, 12.0, 23.0, 14.0, 25.0]);
+        assert_eq!(via_fused, via_legacy);
+    }
+
+    #[test]
+    fn fused_elementwise_ops_match_their_chains() {
+        let mut g = Graph::new();
+        let y = g.leaf(Tensor::row_vector(&[-0.9, -0.2, 0.0, 0.4, 0.8]));
+        let gv = g.leaf(Tensor::row_vector(&[1.0, -2.0, 0.5, 3.0, -0.1]));
+        let tv = g.tanh_vjp(gv, y);
+        let om = g.one_minus_sq(y);
+        let ref_tv = g.mul(gv, om);
+        for (a, b) in g
+            .value(tv)
+            .as_slice()
+            .iter()
+            .zip(g.value(ref_tv).as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let hop = g.half_one_plus(y);
+        let one_plus = g.add_scalar(y, 1.0);
+        let ref_hop = g.scale(one_plus, 0.5);
+        for (a, b) in g
+            .value(hop)
+            .as_slice()
+            .iter()
+            .zip(g.value(ref_hop).as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

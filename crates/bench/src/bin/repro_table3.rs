@@ -12,12 +12,39 @@
 //! cargo run -p mf-bench --release --bin repro_table3 [--full]
 //! ```
 
+use mf_autodiff::Graph;
+use mf_bench::gate::Metric;
 use mf_bench::*;
-use mf_data::{BatchSampler, Dataset};
+use mf_data::{Batch, BatchSampler, Dataset};
 use mf_nn::SdNet;
-use mf_train::measure_step_memory;
+use mf_train::{
+    data_loss, local_gradients, measure_step_memory, pde_loss, set_checkpointed_segments,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+/// One training step the way `main` ran it before the allocation-lean
+/// hot path: a fresh legacy graph per pass, allocate-add-replace adjoint
+/// accumulation, unfused VJP chains, no buffer pool. Returns
+/// `(peak_bytes, heap_allocs)` with the same per-pass-max / summed
+/// semantics as `StepStats`.
+fn legacy_step(net: &SdNet, batch: &Batch) -> (usize, u64) {
+    let mut peak = 0usize;
+    let mut allocs = 0u64;
+    for pass in 0..2 {
+        let mut g = Graph::new_legacy();
+        let bound = net.params.bind(&mut g);
+        let loss = if pass == 0 {
+            data_loss(&mut g, net, &bound, batch)
+        } else {
+            pde_loss(&mut g, net, &bound, batch)
+        };
+        let _ = g.grad(loss, bound.all_vars());
+        peak = peak.max(g.peak_bytes());
+        allocs += g.heap_allocs();
+    }
+    (peak, allocs)
+}
 
 fn main() {
     let spec = bench_spec();
@@ -57,6 +84,80 @@ fn main() {
         &["# domains", "no PDE loss", "with PDE loss", "blowup"],
         &rows,
     );
+
+    // Before/after table for the allocation-lean hot path: the legacy
+    // engine (fresh unpooled graph per pass, chained adjoint adds, unfused
+    // VJPs — what `main` ran) vs the lean engine with checkpointed
+    // segments on a warm persistent graph (steps 2+ of a training run).
+    set_checkpointed_segments(true);
+    let mut lean_rows = Vec::new();
+    let mut gate_metrics = Vec::new();
+    for &domains in &domain_counts {
+        let idx: Vec<usize> = (0..domains).collect();
+        let batch = sampler.make_batch(&ds, &idx);
+        let (legacy_peak, legacy_allocs) = legacy_step(&net, &batch);
+        // Warm the pool with one step, then measure steady state.
+        let _ = local_gradients(&net, &batch, 1.0);
+        let (_, _, warm) = local_gradients(&net, &batch, 1.0);
+        let reduction = 1.0 - warm.peak_bytes as f64 / legacy_peak as f64;
+        let alloc_ratio = legacy_allocs as f64 / warm.heap_allocs.max(1) as f64;
+        lean_rows.push(vec![
+            domains.to_string(),
+            format!("{:.3} MB", legacy_peak as f64 / 1e6),
+            format!("{:.3} MB", warm.peak_bytes as f64 / 1e6),
+            format!("{:.0}%", reduction * 100.0),
+            legacy_allocs.to_string(),
+            warm.heap_allocs.to_string(),
+            if warm.heap_allocs == 0 {
+                "inf".to_string()
+            } else {
+                format!("{alloc_ratio:.0}x")
+            },
+        ]);
+        if domains == max_domains {
+            gate_metrics.push((
+                "table3.warm_peak_bytes".to_string(),
+                Metric {
+                    value: warm.peak_bytes as f64,
+                    tol: 0.15,
+                    higher_better: false,
+                },
+            ));
+            gate_metrics.push((
+                "table3.warm_heap_allocs".to_string(),
+                // Steady state is exactly zero; any alloc is a regression,
+                // and the relative-change math needs a nonzero-safe tol.
+                Metric {
+                    value: warm.heap_allocs as f64,
+                    tol: 0.15,
+                    higher_better: false,
+                },
+            ));
+            gate_metrics.push((
+                "table3.peak_reduction_vs_legacy".to_string(),
+                Metric {
+                    value: reduction,
+                    tol: 0.15,
+                    higher_better: true,
+                },
+            ));
+        }
+    }
+    set_checkpointed_segments(false);
+    print_table(
+        "Allocation-lean hot path: before (legacy engine) vs after (warm lean step)",
+        &[
+            "# domains",
+            "peak before",
+            "peak after",
+            "reduction",
+            "allocs before",
+            "allocs after",
+            "ratio",
+        ],
+        &lean_rows,
+    );
+    emit_metrics(&gate_metrics);
 
     if let Some(r) = last {
         // Memory grows linearly in the domain count (verified by the

@@ -1,0 +1,290 @@
+//! Benchmark-gate plumbing: a tiny JSON metrics format shared by the
+//! `repro_*` binaries (writers) and the `bench_gate` binary (comparator).
+//!
+//! The format is deliberately minimal so it can be written and parsed
+//! without a JSON dependency:
+//!
+//! ```json
+//! {
+//!   "metrics": {
+//!     "table3.peak_bytes": {"value": 1234.0, "tol": 0.15, "higher_better": false}
+//!   }
+//! }
+//! ```
+//!
+//! `tol` is the *relative* regression each metric may suffer against the
+//! checked-in baseline before the gate fails: deterministic byte/alloc
+//! counts use a tight tolerance, wall-clock throughputs a loose one (CI
+//! machines are noisy). Improvements never fail the gate.
+//!
+//! Re-baselining: run the repro binaries with `--json BENCH_baseline.json`
+//! on the main branch and commit the file (see DESIGN.md, "Memory model").
+
+use std::fmt::Write as _;
+
+/// One gated benchmark measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Metric {
+    /// Measured value.
+    pub value: f64,
+    /// Allowed relative regression vs baseline (e.g. `0.15` = 15%).
+    pub tol: f64,
+    /// Direction: `true` when larger is better (throughput), `false` when
+    /// smaller is better (bytes, allocations, latency).
+    pub higher_better: bool,
+}
+
+/// Render a metrics set as the gate's JSON document.
+pub fn render_metrics(metrics: &[(String, Metric)]) -> String {
+    let mut s = String::from("{\n  \"metrics\": {\n");
+    for (i, (name, m)) in metrics.iter().enumerate() {
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    \"{name}\": {{\"value\": {}, \"tol\": {}, \"higher_better\": {}}}{comma}",
+            m.value, m.tol, m.higher_better
+        );
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Append `metrics` to the JSON file at `path` (merging with any metrics
+/// already there; later writers win on name collisions). Lets several
+/// repro binaries contribute to one `BENCH_pr.json`.
+pub fn write_metrics(path: &str, metrics: &[(String, Metric)]) -> std::io::Result<()> {
+    let mut all = match std::fs::read_to_string(path) {
+        Ok(s) => parse_metrics(&s).unwrap_or_default(),
+        Err(_) => Vec::new(),
+    };
+    for (name, m) in metrics {
+        if let Some(slot) = all.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = *m;
+        } else {
+            all.push((name.clone(), *m));
+        }
+    }
+    std::fs::write(path, render_metrics(&all))
+}
+
+/// Parse a metrics document produced by [`render_metrics`] (tolerant of
+/// whitespace differences, intolerant of anything structurally else).
+pub fn parse_metrics(s: &str) -> Result<Vec<(String, Metric)>, String> {
+    let body = s
+        .split_once("\"metrics\"")
+        .ok_or("missing \"metrics\" key")?
+        .1;
+    let mut out = Vec::new();
+    // Each entry looks like: "name": {"value": V, "tol": T, "higher_better": B}
+    let mut rest = body;
+    while let Some(q) = rest.find('"') {
+        let after = &rest[q + 1..];
+        let Some(qe) = after.find('"') else { break };
+        let name = &after[..qe];
+        let tail = &after[qe + 1..];
+        let Some(open) = tail.find('{') else { break };
+        let Some(close) = tail[open..].find('}') else {
+            return Err(format!("unterminated object for metric {name}"));
+        };
+        let obj = &tail[open + 1..open + close];
+        let field = |key: &str| -> Result<&str, String> {
+            let v = obj
+                .split_once(&format!("\"{key}\""))
+                .ok_or_else(|| format!("metric {name}: missing {key}"))?
+                .1;
+            let v = v.trim_start_matches([':', ' ']);
+            Ok(v.split([',', '}']).next().unwrap_or("").trim())
+        };
+        let value: f64 = field("value")?
+            .parse()
+            .map_err(|e| format!("metric {name}: bad value: {e}"))?;
+        let tol: f64 = field("tol")?
+            .parse()
+            .map_err(|e| format!("metric {name}: bad tol: {e}"))?;
+        let higher_better: bool = field("higher_better")?
+            .parse()
+            .map_err(|e| format!("metric {name}: bad higher_better: {e}"))?;
+        out.push((
+            name.to_string(),
+            Metric {
+                value,
+                tol,
+                higher_better,
+            },
+        ));
+        rest = &tail[open + close + 1..];
+    }
+    if out.is_empty() {
+        return Err("no metrics found".into());
+    }
+    Ok(out)
+}
+
+/// Outcome of comparing one metric against its baseline.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Metric name.
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current (PR) value.
+    pub current: f64,
+    /// Signed relative change, positive = regression in the metric's
+    /// worse direction.
+    pub regression: f64,
+    /// Allowed regression (the baseline's `tol`).
+    pub tol: f64,
+    /// True when `regression > tol`.
+    pub failed: bool,
+}
+
+/// Compare current metrics against the baseline. Metrics present on only
+/// one side are reported but never fail the gate (renames/additions must
+/// not brick CI).
+pub fn compare(
+    baseline: &[(String, Metric)],
+    current: &[(String, Metric)],
+) -> (Vec<Comparison>, Vec<String>) {
+    let mut rows = Vec::new();
+    let mut unmatched: Vec<String> = Vec::new();
+    for (name, b) in baseline {
+        let Some((_, c)) = current.iter().find(|(n, _)| n == name) else {
+            unmatched.push(format!("{name} (baseline only)"));
+            continue;
+        };
+        // Relative change in the "worse" direction for this metric.
+        let denom = b.value.abs().max(1e-12);
+        let delta = (c.value - b.value) / denom;
+        let regression = if b.higher_better { -delta } else { delta };
+        rows.push(Comparison {
+            name: name.clone(),
+            baseline: b.value,
+            current: c.value,
+            regression,
+            tol: b.tol,
+            failed: regression > b.tol,
+        });
+    }
+    for (name, _) in current {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            unmatched.push(format!("{name} (current only)"));
+        }
+    }
+    (rows, unmatched)
+}
+
+/// Render comparisons as a GitHub-flavored markdown table.
+pub fn render_markdown(rows: &[Comparison], unmatched: &[String]) -> String {
+    let mut s = String::from("## Bench gate\n\n");
+    s.push_str("| metric | baseline | PR | change | budget | status |\n");
+    s.push_str("|---|---:|---:|---:|---:|:---:|\n");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "| {} | {:.4} | {:.4} | {:+.1}% | {:.0}% | {} |",
+            r.name,
+            r.baseline,
+            r.current,
+            // Positive change% = regression (direction-normalized).
+            r.regression * 100.0,
+            r.tol * 100.0,
+            if r.failed { "❌ regression" } else { "✅" }
+        );
+    }
+    if !unmatched.is_empty() {
+        s.push_str("\nUnmatched metrics (not gated): ");
+        s.push_str(&unmatched.join(", "));
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(value: f64, tol: f64, higher_better: bool) -> Metric {
+        Metric {
+            value,
+            tol,
+            higher_better,
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let metrics = vec![
+            ("a.bytes".to_string(), m(1234.5, 0.15, false)),
+            ("b.pts_per_s".to_string(), m(9.25e6, 0.5, true)),
+        ];
+        let parsed = parse_metrics(&render_metrics(&metrics)).unwrap();
+        assert_eq!(parsed, metrics);
+    }
+
+    #[test]
+    fn write_merges_into_existing_file() {
+        let dir = std::env::temp_dir().join("mf_bench_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("merge.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+        write_metrics(path, &[("x".into(), m(1.0, 0.1, false))]).unwrap();
+        write_metrics(
+            path,
+            &[
+                ("x".into(), m(2.0, 0.1, false)),
+                ("y".into(), m(3.0, 0.2, true)),
+            ],
+        )
+        .unwrap();
+        let all = parse_metrics(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].1.value, 2.0);
+        assert_eq!(all[1].1.value, 3.0);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn compare_is_direction_aware() {
+        let base = vec![
+            ("bytes".to_string(), m(100.0, 0.15, false)),
+            ("tput".to_string(), m(100.0, 0.15, true)),
+        ];
+        // bytes went UP 20% (regression), tput went UP 20% (improvement).
+        let cur = vec![
+            ("bytes".to_string(), m(120.0, 0.15, false)),
+            ("tput".to_string(), m(120.0, 0.15, true)),
+        ];
+        let (rows, unmatched) = compare(&base, &cur);
+        assert!(unmatched.is_empty());
+        assert!(rows[0].failed, "byte growth must fail");
+        assert!(!rows[1].failed, "throughput growth must pass");
+        // Flip: bytes down, tput down 20%.
+        let cur = vec![
+            ("bytes".to_string(), m(80.0, 0.15, false)),
+            ("tput".to_string(), m(80.0, 0.15, true)),
+        ];
+        let (rows, _) = compare(&base, &cur);
+        assert!(!rows[0].failed);
+        assert!(rows[1].failed, "throughput drop must fail");
+    }
+
+    #[test]
+    fn unmatched_metrics_do_not_fail() {
+        let base = vec![("old".to_string(), m(1.0, 0.1, false))];
+        let cur = vec![("new".to_string(), m(1.0, 0.1, false))];
+        let (rows, unmatched) = compare(&base, &cur);
+        assert!(rows.is_empty());
+        assert_eq!(unmatched.len(), 2);
+    }
+
+    #[test]
+    fn markdown_has_a_row_per_metric() {
+        let base = vec![("bytes".to_string(), m(100.0, 0.15, false))];
+        let cur = vec![("bytes".to_string(), m(90.0, 0.15, false))];
+        let (rows, unmatched) = compare(&base, &cur);
+        let md = render_markdown(&rows, &unmatched);
+        assert!(md.contains("| bytes |"));
+        assert!(md.contains("✅"));
+    }
+}

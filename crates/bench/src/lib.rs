@@ -5,6 +5,8 @@
 //! results). All binaries accept `--full` to scale from the laptop-scale
 //! defaults toward paper-scale problem sizes.
 
+pub mod gate;
+
 use mf_data::{Dataset, SubdomainSpec};
 use mf_gp::BoundarySampler;
 use mf_mfp::DomainSpec;
@@ -20,6 +22,21 @@ use rand_chacha::ChaCha8Rng;
 /// Whether the binary was invoked with `--full` (paper-leaning scale).
 pub fn full_scale() -> bool {
     std::env::args().any(|a| a == "--full")
+}
+
+/// Handle the shared `--json PATH` flag: the path the binary should merge
+/// its gate metrics into (see [`gate::write_metrics`]), or `None`.
+pub fn json_out() -> Option<String> {
+    std::env::args().skip_while(|a| a != "--json").nth(1)
+}
+
+/// Merge gate metrics into the `--json PATH` file, if one was given.
+pub fn emit_metrics(metrics: &[(String, gate::Metric)]) {
+    let Some(path) = json_out() else { return };
+    match gate::write_metrics(&path, metrics) {
+        Ok(()) => eprintln!("wrote {} metric(s) to {path}", metrics.len()),
+        Err(e) => eprintln!("failed to write metrics to {path}: {e}"),
+    }
 }
 
 /// Handle the shared `--trace PATH` flag: when present, enable span

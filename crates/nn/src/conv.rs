@@ -92,9 +92,7 @@ impl CircularConv1d {
         let w = bound.var(self.w);
         let mut y = g.matmul_layout(u, Layout::Normal, w, Layout::Transposed); // [B·L, out_ch]
         if let Some(b) = self.b {
-            let rows = g.value(y).rows();
-            let bb = g.broadcast_rows(bound.var(b), rows);
-            y = g.add(y, bb);
+            y = g.add_bias(y, bound.var(b));
         }
         // [B·L, out_ch] → [B, L·out_ch]: contiguous row-major data already
         // has the position-major interleaving, so this is a pure reshape.

@@ -81,9 +81,7 @@ impl Linear {
         let w = bound.var(self.w);
         let mut y = g.matmul_layout(x, Layout::Normal, w, Layout::Transposed);
         if let Some(b) = self.b {
-            let q = g.value(y).rows();
-            let bb = g.broadcast_rows(bound.var(b), q);
-            y = g.add(y, bb);
+            y = g.add_bias(y, bound.var(b));
         }
         y
     }

@@ -82,11 +82,7 @@ impl Params {
     /// Register all parameters as leaves on `g`, in order.
     pub fn bind(&self, g: &mut Graph) -> Bound {
         Bound {
-            vars: self
-                .entries
-                .iter()
-                .map(|(_, t)| g.leaf(t.clone()))
-                .collect(),
+            vars: self.entries.iter().map(|(_, t)| g.leaf_from(t)).collect(),
         }
     }
 

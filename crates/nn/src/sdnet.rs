@@ -265,9 +265,7 @@ impl SdNet {
                 g.matmul_layout(inp, Layout::Normal, w, Layout::Transposed)
             }
         };
-        let rows = g.value(h).rows();
-        let b0 = g.broadcast_rows(bound.var(self.b0), rows);
-        h = g.add(h, b0);
+        h = g.add_bias(h, bound.var(self.b0));
         h = self.config.activation.apply(g, h);
 
         for lin in &self.trunk {
@@ -282,8 +280,8 @@ impl SdNet {
     pub fn predict(&self, boundaries: &Tensor, points: &Tensor, q: usize) -> Tensor {
         let mut g = Graph::new();
         let bound = self.params.bind(&mut g);
-        let gb = g.constant(boundaries.clone());
-        let x = g.constant(points.clone());
+        let gb = g.constant_from(boundaries);
+        let x = g.constant_from(points);
         let out = self.forward(&mut g, &bound, gb, x, q);
         g.value(out).clone()
     }

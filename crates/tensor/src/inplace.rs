@@ -1,0 +1,422 @@
+//! Write-into variants of the tensor kernels, for pooled output buffers.
+//!
+//! Every method takes a pre-shaped output tensor (typically fresh from a
+//! [`crate::BufferPool`], i.e. zero-filled) and fills it **with exactly the
+//! same element ordering and arithmetic as the allocating variant**, so an
+//! allocation-lean caller produces bitwise-identical values. Kernels that
+//! accumulate (`sum_axis0_into`, `sum_groups_into`, `fold1d_circular_into`)
+//! or leave gaps (`pad_*_into`) require the output to be zeroed; the pool
+//! guarantees that.
+
+use crate::Tensor;
+
+impl Tensor {
+    #[inline]
+    fn assert_out_shape(&self, out: &Tensor, rows: usize, cols: usize, op: &str) {
+        assert_eq!(
+            out.shape(),
+            (rows, cols),
+            "{op}: output shape {:?} does not match expected {}x{}",
+            out.shape(),
+            rows,
+            cols
+        );
+        let _ = self;
+    }
+
+    /// `out = self ⊕ other` elementwise via `f`.
+    pub fn zip_map_into(&self, other: &Tensor, out: &mut Tensor, f: impl Fn(f64, f64) -> f64) {
+        assert_eq!(self.shape(), other.shape(), "zip_map_into: shape mismatch");
+        self.assert_out_shape(out, self.rows(), self.cols(), "zip_map_into");
+        for ((o, &a), &b) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.as_slice())
+            .zip(other.as_slice())
+        {
+            *o = f(a, b);
+        }
+    }
+
+    /// `out = f(self)` elementwise.
+    pub fn map_into(&self, out: &mut Tensor, f: impl Fn(f64) -> f64) {
+        self.assert_out_shape(out, self.rows(), self.cols(), "map_into");
+        for (o, &a) in out.as_mut_slice().iter_mut().zip(self.as_slice()) {
+            *o = f(a);
+        }
+    }
+
+    /// `out = self + other`.
+    pub fn add_into(&self, other: &Tensor, out: &mut Tensor) {
+        self.zip_map_into(other, out, |a, b| a + b);
+    }
+
+    /// `out = self - other`.
+    pub fn sub_into(&self, other: &Tensor, out: &mut Tensor) {
+        self.zip_map_into(other, out, |a, b| a - b);
+    }
+
+    /// `out = self ⊙ other`.
+    pub fn mul_into(&self, other: &Tensor, out: &mut Tensor) {
+        self.zip_map_into(other, out, |a, b| a * b);
+    }
+
+    /// `out = self * s`.
+    pub fn scale_into(&self, s: f64, out: &mut Tensor) {
+        self.map_into(out, |x| x * s);
+    }
+
+    /// `out = self + s`.
+    pub fn add_scalar_into(&self, s: f64, out: &mut Tensor) {
+        self.map_into(out, |x| x + s);
+    }
+
+    /// `out = selfᵀ` (same blocked traversal as [`Tensor::transpose`]).
+    pub fn transpose_into(&self, out: &mut Tensor) {
+        self.assert_out_shape(out, self.cols(), self.rows(), "transpose_into");
+        const B: usize = 32;
+        let (rows, cols) = self.shape();
+        let src = self.as_slice();
+        let dst = out.as_mut_slice();
+        for rb in (0..rows).step_by(B) {
+            for cb in (0..cols).step_by(B) {
+                for r in rb..(rb + B).min(rows) {
+                    for c in cb..(cb + B).min(cols) {
+                        dst[c * rows + r] = src[r * cols + c];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Row sum into a zeroed `1×cols` output.
+    pub fn sum_axis0_into(&self, out: &mut Tensor) {
+        self.assert_out_shape(out, 1, self.cols(), "sum_axis0_into");
+        let o = out.as_mut_slice();
+        for r in 0..self.rows() {
+            for (acc, &v) in o.iter_mut().zip(self.row(r)) {
+                *acc += v;
+            }
+        }
+    }
+
+    /// Repeat every row `q` times into a `[rows·q × cols]` output.
+    pub fn repeat_rows_into(&self, q: usize, out: &mut Tensor) {
+        assert!(q > 0, "repeat_rows_into: q must be positive");
+        let (b, d) = self.shape();
+        self.assert_out_shape(out, b * q, d, "repeat_rows_into");
+        for r in 0..b {
+            for i in 0..q {
+                let dst = out.row_mut(r * q + i);
+                dst.copy_from_slice(&self.as_slice()[r * d..(r + 1) * d]);
+            }
+        }
+    }
+
+    /// Sum consecutive groups of `q` rows into a zeroed `[rows/q × cols]`
+    /// output.
+    pub fn sum_groups_into(&self, q: usize, out: &mut Tensor) {
+        assert!(q > 0, "sum_groups_into: q must be positive");
+        let (bq, d) = self.shape();
+        assert_eq!(bq % q, 0, "sum_groups_into: rows not divisible by q");
+        self.assert_out_shape(out, bq / q, d, "sum_groups_into");
+        for r in 0..bq {
+            let dst = out.row_mut(r / q);
+            for (o, &v) in dst.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+    }
+
+    /// Copy columns `[start, start+len)` into a `[rows × len]` output.
+    pub fn slice_cols_into(&self, start: usize, len: usize, out: &mut Tensor) {
+        assert!(start + len <= self.cols(), "slice_cols_into: out of bounds");
+        self.assert_out_shape(out, self.rows(), len, "slice_cols_into");
+        for r in 0..self.rows() {
+            out.row_mut(r)
+                .copy_from_slice(&self.row(r)[start..start + len]);
+        }
+    }
+
+    /// Copy rows `[start, start+len)` into a `[len × cols]` output.
+    pub fn slice_rows_into(&self, start: usize, len: usize, out: &mut Tensor) {
+        assert!(start + len <= self.rows(), "slice_rows_into: out of bounds");
+        self.assert_out_shape(out, len, self.cols(), "slice_rows_into");
+        for r in 0..len {
+            out.row_mut(r).copy_from_slice(self.row(start + r));
+        }
+    }
+
+    /// Embed as columns `[start, …)` of a zeroed width-`total` output.
+    pub fn pad_cols_into(&self, start: usize, total: usize, out: &mut Tensor) {
+        assert!(
+            start + self.cols() <= total,
+            "pad_cols_into: slice exceeds target width"
+        );
+        self.assert_out_shape(out, self.rows(), total, "pad_cols_into");
+        for r in 0..self.rows() {
+            out.row_mut(r)[start..start + self.cols()].copy_from_slice(self.row(r));
+        }
+    }
+
+    /// Embed as rows `[start, …)` of a zeroed height-`total` output.
+    pub fn pad_rows_into(&self, start: usize, total: usize, out: &mut Tensor) {
+        assert!(
+            start + self.rows() <= total,
+            "pad_rows_into: slice exceeds target height"
+        );
+        self.assert_out_shape(out, total, self.cols(), "pad_rows_into");
+        for r in 0..self.rows() {
+            out.row_mut(start + r).copy_from_slice(self.row(r));
+        }
+    }
+
+    /// `out = self + broadcast(row)` where `row` is `1×cols` — the fused
+    /// bias add. Element order matches adding a row-repeated matrix.
+    pub fn broadcast_row_add_into(&self, row: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            row.rows(),
+            1,
+            "broadcast_row_add_into: rhs must be a row vector"
+        );
+        assert_eq!(
+            row.cols(),
+            self.cols(),
+            "broadcast_row_add_into: column mismatch"
+        );
+        self.assert_out_shape(out, self.rows(), self.cols(), "broadcast_row_add_into");
+        for r in 0..self.rows() {
+            for ((o, &a), &b) in out.row_mut(r).iter_mut().zip(self.row(r)).zip(row.row(0)) {
+                *o = a + b;
+            }
+        }
+    }
+
+    /// `out = [self | other]`.
+    pub fn concat_cols_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.rows(), other.rows(), "concat_cols_into: row mismatch");
+        let (r, c1) = self.shape();
+        let c2 = other.cols();
+        self.assert_out_shape(out, r, c1 + c2, "concat_cols_into");
+        for i in 0..r {
+            let dst = out.row_mut(i);
+            dst[..c1].copy_from_slice(self.row(i));
+            dst[c1..].copy_from_slice(other.row(i));
+        }
+    }
+
+    /// `out = [self; other]`.
+    pub fn concat_rows_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.cols(),
+            other.cols(),
+            "concat_rows_into: column mismatch"
+        );
+        self.assert_out_shape(
+            out,
+            self.rows() + other.rows(),
+            self.cols(),
+            "concat_rows_into",
+        );
+        let n1 = self.numel();
+        out.as_mut_slice()[..n1].copy_from_slice(self.as_slice());
+        out.as_mut_slice()[n1..].copy_from_slice(other.as_slice());
+    }
+
+    /// Copy this tensor's data into a same-sized output of possibly
+    /// different shape (the reshape/copy primitive).
+    pub fn copy_into(&self, out: &mut Tensor) {
+        assert_eq!(self.numel(), out.numel(), "copy_into: size mismatch");
+        out.as_mut_slice().copy_from_slice(self.as_slice());
+    }
+}
+
+/// [`crate::unfold1d_circular`] into a zeroed `[B·len × k·channels]` output.
+pub fn unfold1d_circular_into(input: &Tensor, channels: usize, k: usize, out: &mut Tensor) {
+    let (b, width) = input.shape();
+    assert!(k >= 1, "unfold1d_circular_into: kernel size must be >= 1");
+    assert_eq!(
+        width % channels,
+        0,
+        "unfold1d_circular_into: width not divisible by channels"
+    );
+    let len = width / channels;
+    assert!(len >= 1, "unfold1d_circular_into: empty signal");
+    assert_eq!(
+        out.shape(),
+        (b * len, k * channels),
+        "unfold1d_circular_into: output shape mismatch"
+    );
+    let half = (k - 1) / 2;
+    for bi in 0..b {
+        for p in 0..len {
+            for w in 0..k {
+                let pos = (p + len + w - half) % len;
+                let s = &input.row(bi)[pos * channels..(pos + 1) * channels];
+                out.row_mut(bi * len + p)[w * channels..(w + 1) * channels].copy_from_slice(s);
+            }
+        }
+    }
+}
+
+/// [`crate::fold1d_circular`] into a zeroed `[B × len·channels]` output.
+pub fn fold1d_circular_into(grad: &Tensor, b: usize, channels: usize, k: usize, out: &mut Tensor) {
+    let (rows, wk) = grad.shape();
+    assert_eq!(wk, k * channels, "fold1d_circular_into: width mismatch");
+    assert_eq!(
+        rows % b,
+        0,
+        "fold1d_circular_into: rows not divisible by batch"
+    );
+    let len = rows / b;
+    assert_eq!(
+        out.shape(),
+        (b, len * channels),
+        "fold1d_circular_into: output shape mismatch"
+    );
+    let half = (k - 1) / 2;
+    for bi in 0..b {
+        for p in 0..len {
+            let src = grad.row(bi * len + p);
+            let dst = out.row_mut(bi);
+            for w in 0..k {
+                let pos = (p + len + w - half) % len;
+                for c in 0..channels {
+                    dst[pos * channels + c] += src[w * channels + c];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fold1d_circular, unfold1d_circular};
+
+    fn t(r: usize, c: usize) -> Tensor {
+        Tensor::from_fn(r, c, |i, j| ((i * 13 + j * 7) as f64 * 0.37).sin())
+    }
+
+    /// Every `_into` kernel must reproduce its allocating twin bit-for-bit.
+    #[test]
+    fn into_kernels_match_allocating_kernels_bitwise() {
+        let a = t(5, 7);
+        let b = t(5, 7);
+        let cases: Vec<(&str, Tensor, Tensor)> = vec![
+            ("add", a.add(&b), {
+                let mut o = Tensor::zeros(5, 7);
+                a.add_into(&b, &mut o);
+                o
+            }),
+            ("sub", a.sub(&b), {
+                let mut o = Tensor::zeros(5, 7);
+                a.sub_into(&b, &mut o);
+                o
+            }),
+            ("mul", a.mul(&b), {
+                let mut o = Tensor::zeros(5, 7);
+                a.mul_into(&b, &mut o);
+                o
+            }),
+            ("scale", a.scale(-1.37), {
+                let mut o = Tensor::zeros(5, 7);
+                a.scale_into(-1.37, &mut o);
+                o
+            }),
+            ("add_scalar", a.add_scalar(0.77), {
+                let mut o = Tensor::zeros(5, 7);
+                a.add_scalar_into(0.77, &mut o);
+                o
+            }),
+            ("transpose", a.transpose(), {
+                let mut o = Tensor::zeros(7, 5);
+                a.transpose_into(&mut o);
+                o
+            }),
+            ("sum_axis0", a.sum_axis0(), {
+                let mut o = Tensor::zeros(1, 7);
+                a.sum_axis0_into(&mut o);
+                o
+            }),
+            ("repeat_rows", a.repeat_rows(3), {
+                let mut o = Tensor::zeros(15, 7);
+                a.repeat_rows_into(3, &mut o);
+                o
+            }),
+            ("sum_groups", t(6, 4).sum_groups(2), {
+                let mut o = Tensor::zeros(3, 4);
+                t(6, 4).sum_groups_into(2, &mut o);
+                o
+            }),
+            ("slice_cols", a.slice_cols(2, 3), {
+                let mut o = Tensor::zeros(5, 3);
+                a.slice_cols_into(2, 3, &mut o);
+                o
+            }),
+            ("slice_rows", a.slice_rows(1, 3), {
+                let mut o = Tensor::zeros(3, 7);
+                a.slice_rows_into(1, 3, &mut o);
+                o
+            }),
+            ("pad_cols", a.pad_cols(2, 11), {
+                let mut o = Tensor::zeros(5, 11);
+                a.pad_cols_into(2, 11, &mut o);
+                o
+            }),
+            ("pad_rows", a.pad_rows(1, 8), {
+                let mut o = Tensor::zeros(8, 7);
+                a.pad_rows_into(1, 8, &mut o);
+                o
+            }),
+            ("broadcast_row_add", a.broadcast_row_add(&t(1, 7)), {
+                let mut o = Tensor::zeros(5, 7);
+                a.broadcast_row_add_into(&t(1, 7), &mut o);
+                o
+            }),
+            ("concat_cols", a.concat_cols(&b), {
+                let mut o = Tensor::zeros(5, 14);
+                a.concat_cols_into(&b, &mut o);
+                o
+            }),
+            ("concat_rows", a.concat_rows(&b), {
+                let mut o = Tensor::zeros(10, 7);
+                a.concat_rows_into(&b, &mut o);
+                o
+            }),
+            ("unfold", unfold1d_circular(&t(2, 8), 2, 3), {
+                let mut o = Tensor::zeros(8, 6);
+                unfold1d_circular_into(&t(2, 8), 2, 3, &mut o);
+                o
+            }),
+            ("fold", fold1d_circular(&t(8, 6), 2, 2, 3), {
+                let mut o = Tensor::zeros(2, 8);
+                fold1d_circular_into(&t(8, 6), 2, 2, 3, &mut o);
+                o
+            }),
+        ];
+        for (name, want, got) in cases {
+            assert_eq!(want.shape(), got.shape(), "{name}: shape");
+            for (w, g) in want.as_slice().iter().zip(got.as_slice()) {
+                assert_eq!(w.to_bits(), g.to_bits(), "{name}: value drift");
+            }
+        }
+    }
+
+    #[test]
+    fn copy_into_reshapes() {
+        let a = t(2, 6);
+        let mut o = Tensor::zeros(3, 4);
+        a.copy_into(&mut o);
+        assert_eq!(o.as_slice(), a.as_slice());
+        assert_eq!(o.shape(), (3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "output shape")]
+    fn shape_mismatch_panics() {
+        let a = t(2, 2);
+        let mut o = Tensor::zeros(2, 3);
+        a.add_into(&a.clone(), &mut o);
+    }
+}

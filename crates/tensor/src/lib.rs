@@ -18,13 +18,17 @@
 //! recoverable conditions.
 
 mod gemm;
+mod inplace;
 mod ops;
+mod pool;
 #[cfg(test)]
 mod proptests;
 mod tensor;
 
 pub use gemm::{gemm, gemm_into, Layout};
+pub use inplace::{fold1d_circular_into, unfold1d_circular_into};
 pub use ops::{fold1d_circular, unfold1d_circular};
+pub use pool::{BufferPool, PoolStats};
 pub use tensor::Tensor;
 
 /// Relative/absolute tolerance comparison for floating-point test code.

@@ -124,6 +124,15 @@ impl Tensor {
         self.data.len() * std::mem::size_of::<f64>()
     }
 
+    /// Bytes *reserved* by the backing buffer — what the heap allocator
+    /// actually charged for this tensor. For pool-recycled buffers the
+    /// capacity is rounded up to a power-of-two size class, so this can
+    /// exceed [`Tensor::nbytes`].
+    #[inline]
+    pub fn capacity_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f64>()
+    }
+
     /// Immutable view of the backing buffer (row-major).
     #[inline]
     pub fn as_slice(&self) -> &[f64] {

@@ -24,8 +24,11 @@ pub mod trainer;
 
 pub use checkpoint::{save_checkpoint, CheckpointConfig, TrainState};
 pub use losses::{data_loss, pde_loss};
-pub use memory::{measure_step_memory, MemoryReport};
-pub use step::{local_gradients, train_step_distributed, train_step_single, GradSync, StepStats};
+pub use memory::{measure_step_memory, measure_step_memory_with, MemoryReport};
+pub use step::{
+    checkpointed_segments, local_gradients, set_checkpointed_segments, train_step_distributed,
+    train_step_single, GradSync, StepStats,
+};
 pub use trainer::{
     evaluate_mse, train_ddp, train_ddp_resumable, train_single, DdpResult, EpochLog, TrainConfig,
 };

@@ -7,10 +7,10 @@ use mf_nn::{Bound, SdNet};
 /// MSE between SDNet predictions and known solution values at the batch's
 /// data points. Returns a scalar graph variable.
 pub fn data_loss(g: &mut Graph, net: &SdNet, bound: &Bound, batch: &Batch) -> Var {
-    let gb = g.constant(batch.boundaries.clone());
-    let x = g.constant(batch.data_points.clone());
+    let gb = g.constant_from(&batch.boundaries);
+    let x = g.constant_from(&batch.data_points);
     let pred = net.forward(g, bound, gb, x, batch.qd);
-    let target = g.constant(batch.data_values.clone());
+    let target = g.constant_from(&batch.data_values);
     g.mse(pred, target)
 }
 
@@ -23,9 +23,9 @@ pub fn data_loss(g: &mut Graph, net: &SdNet, bound: &Bound, batch: &Batch) -> Va
 /// differentiated with respect to the weights — three chained backwards in
 /// total.
 pub fn pde_loss(g: &mut Graph, net: &SdNet, bound: &Bound, batch: &Batch) -> Var {
-    let gb = g.constant(batch.boundaries.clone());
+    let gb = g.constant_from(&batch.boundaries);
     // Collocation coordinates are a *leaf*: we differentiate w.r.t. them.
-    let x = g.leaf(batch.colloc_points.clone());
+    let x = g.leaf_from(&batch.colloc_points);
     let u = net.forward(g, bound, gb, x, batch.qc);
 
     // First derivatives. Rows are independent (each output row depends
@@ -33,15 +33,23 @@ pub fn pde_loss(g: &mut Graph, net: &SdNet, bound: &Bound, batch: &Batch) -> Var
     // Jacobian diagonal exactly.
     let su = g.sum(u);
     let du = g.grad(su, &[x])[0];
+    // Each inner backward pass grows the graph; with checkpointing
+    // enabled, drop the values of nodes that can be recomputed cheaply
+    // (anything not feeding a nonlinear VJP). Rematerialization through
+    // the shared evaluator is bitwise-identical, so these calls never
+    // change the loss; without checkpointing they are no-ops.
+    g.evict_dead_values(&[du]);
     let ux = g.slice_cols(du, 0, 1);
     let uy = g.slice_cols(du, 1, 1);
 
     // Second derivatives.
     let sux = g.sum(ux);
     let dux = g.grad(sux, &[x])[0];
+    g.evict_dead_values(&[dux, uy]);
     let uxx = g.slice_cols(dux, 0, 1);
     let suy = g.sum(uy);
     let duy = g.grad(suy, &[x])[0];
+    g.evict_dead_values(&[duy, uxx]);
     let uyy = g.slice_cols(duy, 1, 1);
 
     let lap = g.add(uxx, uyy);

@@ -20,6 +20,10 @@ pub struct MemoryReport {
     pub bytes_no_pde: usize,
     /// Bytes held when the PDE loss (double backward) is included.
     pub bytes_with_pde: usize,
+    /// High-water mark of live bytes during the with-PDE step.
+    pub peak_with_pde: usize,
+    /// Graph-attributed heap allocations during the with-PDE step.
+    pub heap_allocs: u64,
 }
 
 impl MemoryReport {
@@ -34,6 +38,14 @@ impl MemoryReport {
 /// also published to the `autodiff.graph_nodes` / `autodiff.graph_bytes`
 /// telemetry gauges.
 pub fn measure_step_memory(net: &SdNet, batch: &Batch) -> MemoryReport {
+    measure_step_memory_with(net, batch, false)
+}
+
+/// [`measure_step_memory`] with explicit control over checkpointed
+/// segments in the PDE loss: with `ckpt` on, cheap-to-recompute node
+/// values are evicted between the inner backward passes, lowering the
+/// with-PDE footprint at the cost of rematerialization FLOPs.
+pub fn measure_step_memory_with(net: &SdNet, batch: &Batch, ckpt: bool) -> MemoryReport {
     // Without PDE loss: forward + data loss + backward to weights.
     let mut g = Graph::new();
     let bound = net.params.bind(&mut g);
@@ -45,21 +57,27 @@ pub fn measure_step_memory(net: &SdNet, batch: &Batch) -> MemoryReport {
     // With PDE loss: the same plus the collocation pass with its two inner
     // backward passes and the final backward to weights.
     let mut g = Graph::new();
+    g.set_checkpointing(ckpt);
     let bound = net.params.bind(&mut g);
     let ld = data_loss(&mut g, net, &bound, batch);
     let lp = pde_loss(&mut g, net, &bound, batch);
     let total = g.add(ld, lp);
     let _ = g.grad(total, bound.all_vars());
     let bytes_with_pde = g.bytes_allocated();
+    let peak_with_pde = g.peak_bytes();
+    let heap_allocs = g.heap_allocs();
 
     let m = crate::step::train_metrics();
     m.graph_nodes.update(|v| v.max(g.len() as f64));
     m.graph_bytes.update(|v| v.max(bytes_with_pde as f64));
+    m.bytes_peak.update(|v| v.max(peak_with_pde as f64));
 
     MemoryReport {
         domains: batch.batch_size(),
         bytes_no_pde,
         bytes_with_pde,
+        peak_with_pde,
+        heap_allocs,
     }
 }
 
@@ -91,6 +109,19 @@ mod tests {
         let r = measure_step_memory(&net, &batch);
         assert!(r.bytes_with_pde > r.bytes_no_pde);
         assert!(r.blowup() > 3.0, "blowup only {:.2}x", r.blowup());
+    }
+
+    #[test]
+    fn checkpointing_lowers_with_pde_peak() {
+        let (net, batch) = setup(2);
+        let plain = measure_step_memory_with(&net, &batch, false);
+        let ckpt = measure_step_memory_with(&net, &batch, true);
+        assert!(
+            ckpt.peak_with_pde < plain.peak_with_pde,
+            "ckpt peak {} not below plain peak {}",
+            ckpt.peak_with_pde,
+            plain.peak_with_pde
+        );
     }
 
     #[test]

@@ -17,8 +17,32 @@ use mf_data::Batch;
 use mf_dist::Communicator;
 use mf_nn::SdNet;
 use mf_opt::Optimizer;
-use mf_telemetry::{gauge, histogram, span, Buckets, Gauge, Histogram};
+use mf_telemetry::{counter, gauge, histogram, span, Buckets, Counter, Gauge, Histogram};
 use mf_tensor::Tensor;
+use std::cell::{Cell, RefCell};
+
+thread_local! {
+    /// The per-rank training graph. It persists across steps so that the
+    /// buffer pool it owns reaches a steady state: after the first step
+    /// every tensor the hot path needs comes back out of the pool and the
+    /// heap allocator is no longer involved.
+    static STEP_GRAPH: RefCell<Graph> = RefCell::new(Graph::new());
+    static CKPT_SEGMENTS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Opt into checkpointed segments for the second-order residual backward
+/// on this thread: the PDE loss evicts cheap-to-recompute node values
+/// between its inner backward passes and rematerializes them on demand
+/// (bitwise-identically) during the weight backward. Trades FLOPs for
+/// peak graph bytes; off by default.
+pub fn set_checkpointed_segments(on: bool) {
+    CKPT_SEGMENTS.with(|c| c.set(on));
+}
+
+/// Whether [`set_checkpointed_segments`] is active on this thread.
+pub fn checkpointed_segments() -> bool {
+    CKPT_SEGMENTS.with(|c| c.get())
+}
 
 /// Gradient synchronization strategy (ablation knob).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,6 +71,10 @@ pub(crate) struct TrainMetrics {
     pub step_us: Histogram,
     pub graph_nodes: Gauge,
     pub graph_bytes: Gauge,
+    pub bytes_peak: Gauge,
+    pub pool_hits: Counter,
+    pub pool_misses: Counter,
+    pub allocs_per_step: Gauge,
 }
 
 /// The shared trainer metric handles.
@@ -61,6 +89,10 @@ pub(crate) fn train_metrics() -> &'static TrainMetrics {
         step_us: histogram("train.step_us", Buckets::latency_us()),
         graph_nodes: gauge("autodiff.graph_nodes"),
         graph_bytes: gauge("autodiff.graph_bytes"),
+        bytes_peak: gauge("graph.bytes_peak"),
+        pool_hits: counter("pool.hits"),
+        pool_misses: counter("pool.misses"),
+        allocs_per_step: gauge("graph.allocs_per_step"),
     })
 }
 
@@ -75,6 +107,15 @@ pub struct StepStats {
     pub graph_nodes: usize,
     /// Autograd bytes held at peak (sum over both passes).
     pub graph_bytes: usize,
+    /// High-water mark of live graph bytes within a single pass.
+    pub peak_bytes: usize,
+    /// Tensor-buffer acquisitions served from the graph's pool this step.
+    pub pool_hits: u64,
+    /// Tensor-buffer acquisitions that had to touch the heap allocator.
+    pub pool_misses: u64,
+    /// Heap allocations attributable to the graph this step (pool misses
+    /// plus adopted external buffers). Near zero once the pool is warm.
+    pub heap_allocs: u64,
 }
 
 /// Compute the local (unsynchronized) gradients of
@@ -88,43 +129,62 @@ pub fn local_gradients(
     batch: &Batch,
     pde_weight: f64,
 ) -> (Vec<Tensor>, Vec<Tensor>, StepStats) {
-    let mut stats = StepStats::default();
+    STEP_GRAPH.with(|cell| {
+        let g = &mut *cell.borrow_mut();
+        g.set_checkpointing(checkpointed_segments());
+        let pool_before = g.pool_stats();
+        let allocs_before = g.heap_allocs();
+        let mut stats = StepStats::default();
 
-    // Pass 1: data points.
-    let (data_grads, data_secs) = mf_telemetry::timed("train.data_pass", || {
-        let mut g = Graph::new();
-        let bound = net.params.bind(&mut g);
-        let ld = data_loss(&mut g, net, &bound, batch);
-        stats.data_loss = g.value(ld).item();
-        let dgrads = g.grad(ld, bound.all_vars());
-        let data_grads: Vec<Tensor> = dgrads.iter().map(|&v| g.value(v).clone()).collect();
-        stats.graph_nodes += g.len();
-        stats.graph_bytes += g.bytes_allocated();
-        data_grads
-    });
+        // Pass 1: data points. `clear()` recycles the previous step's
+        // buffers into the pool instead of freeing them, so a warm graph
+        // rebuilds the tape without touching the heap allocator.
+        let (data_grads, data_secs) = mf_telemetry::timed("train.data_pass", || {
+            g.clear();
+            let bound = net.params.bind(g);
+            let ld = data_loss(g, net, &bound, batch);
+            stats.data_loss = g.value(ld).item();
+            let dgrads = g.grad(ld, bound.all_vars());
+            let data_grads: Vec<Tensor> = dgrads.iter().map(|&v| g.value(v).clone()).collect();
+            stats.graph_nodes += g.len();
+            stats.graph_bytes += g.bytes_allocated();
+            stats.peak_bytes = stats.peak_bytes.max(g.peak_bytes());
+            data_grads
+        });
 
-    // Pass 2: collocation points (fresh graph, like a fresh autograd
-    // graph in PyTorch once the first backward freed its buffers).
-    let (pde_grads, pde_secs) = mf_telemetry::timed("train.pde_pass", || {
-        let mut g = Graph::new();
-        let bound = net.params.bind(&mut g);
-        let lp = pde_loss(&mut g, net, &bound, batch);
-        let lp = g.scale(lp, pde_weight);
-        stats.pde_loss = g.value(lp).item();
-        let pgrads = g.grad(lp, bound.all_vars());
-        let pde_grads: Vec<Tensor> = pgrads.iter().map(|&v| g.value(v).clone()).collect();
-        stats.graph_nodes += g.len();
-        stats.graph_bytes += g.bytes_allocated();
-        pde_grads
-    });
+        // Pass 2: collocation points (cleared tape, like a fresh autograd
+        // graph in PyTorch once the first backward freed its buffers).
+        let (pde_grads, pde_secs) = mf_telemetry::timed("train.pde_pass", || {
+            g.clear();
+            let bound = net.params.bind(g);
+            let lp = pde_loss(g, net, &bound, batch);
+            let lp = g.scale(lp, pde_weight);
+            stats.pde_loss = g.value(lp).item();
+            let pgrads = g.grad(lp, bound.all_vars());
+            let pde_grads: Vec<Tensor> = pgrads.iter().map(|&v| g.value(v).clone()).collect();
+            stats.graph_nodes += g.len();
+            stats.graph_bytes += g.bytes_allocated();
+            stats.peak_bytes = stats.peak_bytes.max(g.peak_bytes());
+            pde_grads
+        });
 
-    let m = train_metrics();
-    m.data_pass_us.record(data_secs * 1e6);
-    m.pde_pass_us.record(pde_secs * 1e6);
-    m.graph_nodes.update(|v| v.max(stats.graph_nodes as f64));
-    m.graph_bytes.update(|v| v.max(stats.graph_bytes as f64));
+        let pool_delta = g.pool_stats().since(&pool_before);
+        stats.pool_hits = pool_delta.hits;
+        stats.pool_misses = pool_delta.misses;
+        stats.heap_allocs = g.heap_allocs() - allocs_before;
 
-    (data_grads, pde_grads, stats)
+        let m = train_metrics();
+        m.data_pass_us.record(data_secs * 1e6);
+        m.pde_pass_us.record(pde_secs * 1e6);
+        m.graph_nodes.update(|v| v.max(stats.graph_nodes as f64));
+        m.graph_bytes.update(|v| v.max(stats.graph_bytes as f64));
+        m.bytes_peak.update(|v| v.max(stats.peak_bytes as f64));
+        m.pool_hits.add(stats.pool_hits);
+        m.pool_misses.add(stats.pool_misses);
+        m.allocs_per_step.set(stats.heap_allocs as f64);
+
+        (data_grads, pde_grads, stats)
+    })
 }
 
 fn flatten(grads: &[Tensor]) -> Vec<f64> {
@@ -368,5 +428,44 @@ mod tests {
         let (_, _, stats) = local_gradients(&net, batch, 1.0);
         assert!(stats.graph_nodes > 50);
         assert!(stats.graph_bytes > 1000);
+        assert!(stats.peak_bytes >= stats.graph_bytes / 2);
+    }
+
+    #[test]
+    fn warm_graph_steps_do_not_touch_the_heap() {
+        // The tentpole claim: after the first step primes the pool, every
+        // later step of the same shape is served entirely from recycled
+        // buffers — zero pool misses, zero graph heap allocations.
+        let net = tiny_net(7);
+        let batch = &tiny_batches(1)[0];
+        let (_, _, first) = local_gradients(&net, batch, 0.5);
+        assert!(first.pool_misses > 0, "cold step must populate the pool");
+        for step in 2..=4 {
+            let (_, _, s) = local_gradients(&net, batch, 0.5);
+            assert_eq!(s.pool_misses, 0, "step {step} missed the pool");
+            assert_eq!(s.heap_allocs, 0, "step {step} touched the heap");
+            assert!(s.pool_hits > 100, "step {step} barely used the pool");
+        }
+    }
+
+    #[test]
+    fn checkpointed_segments_keep_gradients_bitwise_and_lower_peak() {
+        let net = tiny_net(9);
+        let batch = &tiny_batches(1)[0];
+        let (d0, p0, s0) = local_gradients(&net, batch, 0.3);
+        set_checkpointed_segments(true);
+        let (d1, p1, s1) = local_gradients(&net, batch, 0.3);
+        set_checkpointed_segments(false);
+        for (a, b) in d0.iter().zip(&d1).chain(p0.iter().zip(&p1)) {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "ckpt changed a gradient");
+            }
+        }
+        assert!(
+            s1.peak_bytes < s0.peak_bytes,
+            "ckpt peak {} not below plain peak {}",
+            s1.peak_bytes,
+            s0.peak_bytes
+        );
     }
 }

@@ -119,3 +119,117 @@ proptest! {
         prop_assert!(mae < 1e-3, "MAE {mae} on {sx}x{sy} domain");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fused in-place VJP kernels vs the unfused out-of-place legacy chains.
+// ---------------------------------------------------------------------------
+
+/// Ulp distance between two finite f64s of the same sign class.
+fn ulps(a: f64, b: f64) -> u64 {
+    let (x, y) = (a.to_bits() as i64, b.to_bits() as i64);
+    // Map to a monotone integer line so the difference counts ulps even
+    // across the ±0 boundary.
+    let canon = |v: i64| if v < 0 { i64::MIN - v } else { v };
+    canon(x).abs_diff(canon(y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The lean engine's fused VJPs (`TanhVjp`, the fused Gelu chain,
+    /// `AddBias`, pooled `AddAcc` accumulation) must reproduce the legacy
+    /// unfused out-of-place chains to ulp level: bitwise at first and
+    /// second order through an elementwise tanh∘gelu stack.
+    #[test]
+    fn fused_vjps_match_unfused_bitwise_to_second_order(
+        vals in prop::collection::vec(-2.5f64..2.5, 12),
+    ) {
+        let run = |lean: bool| {
+            let mut g = if lean { Graph::new() } else { Graph::new_legacy() };
+            let x = g.leaf(Tensor::row_vector(&vals));
+            let t = g.tanh(x);
+            let e = g.gelu(t);
+            let s = g.sum(e);
+            let d1 = g.grad(s, &[x])[0];
+            let s1 = g.sum(d1);
+            let d2 = g.grad(s1, &[x])[0];
+            (g.value(d1).clone(), g.value(d2).clone())
+        };
+        let (lean1, lean2) = run(true);
+        let (leg1, leg2) = run(false);
+        for (a, b) in lean1.as_slice().iter().zip(leg1.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "order-1 mismatch: {} vs {}", a, b);
+        }
+        for (a, b) in lean2.as_slice().iter().zip(leg2.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "order-2 mismatch: {} vs {}", a, b);
+        }
+    }
+
+    /// Weight gradients of a full biased two-layer MLP under MSE must be
+    /// bitwise identical between the lean and legacy engines — `AddBias`
+    /// and in-place gemm accumulation included.
+    #[test]
+    fn lean_mlp_weight_grads_match_legacy_bitwise(seed in 0u64..200) {
+        use mosaic_flow::nn::{Linear, Params};
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut ps = Params::new();
+        let l1 = Linear::new(&mut ps, &mut rng, "l1", 3, 7, true);
+        let l2 = Linear::new(&mut ps, &mut rng, "l2", 7, 2, true);
+        let x = Tensor::from_fn(5, 3, |r, c| ((seed + 1) as f64 * 0.3 + (r * 3 + c) as f64 * 0.21).sin());
+        let y = Tensor::from_fn(5, 2, |r, c| ((r * 2 + c) as f64 * 0.17).cos());
+        let run = |lean: bool| {
+            let mut g = if lean { Graph::new() } else { Graph::new_legacy() };
+            let bound = ps.bind(&mut g);
+            let xv = g.constant_from(&x);
+            let h = l1.forward(&mut g, &bound, xv);
+            let h = g.tanh(h);
+            let out = l2.forward(&mut g, &bound, h);
+            let tv = g.constant_from(&y);
+            let loss = g.mse(out, tv);
+            let grads = g.grad(loss, bound.all_vars());
+            grads.iter().map(|&gv| g.value(gv).clone()).collect::<Vec<_>>()
+        };
+        let lean = run(true);
+        let legacy = run(false);
+        prop_assert_eq!(lean.len(), legacy.len());
+        for (pi, (a, b)) in lean.iter().zip(&legacy).enumerate() {
+            for (va, vb) in a.as_slice().iter().zip(b.as_slice()) {
+                prop_assert_eq!(
+                    va.to_bits(), vb.to_bits(),
+                    "param {} mismatch: {} vs {} ({} ulps)", pi, va, vb, ulps(*va, *vb)
+                );
+            }
+        }
+    }
+
+    /// At third order the fused chains re-associate adjoint sums (fresh
+    /// fused nodes vs legacy's shared intermediates), so exact bit
+    /// equality is no longer guaranteed — but the drift must stay at ulp
+    /// level, orders of magnitude inside the 1e-9 fixture tolerance.
+    #[test]
+    fn fused_vjps_match_unfused_to_ulp_at_third_order(
+        vals in prop::collection::vec(-2.0f64..2.0, 9),
+    ) {
+        let run = |lean: bool| {
+            let mut g = if lean { Graph::new() } else { Graph::new_legacy() };
+            let x = g.leaf(Tensor::row_vector(&vals));
+            let t = g.tanh(x);
+            let e = g.gelu(t);
+            let s = g.sum(e);
+            let d1 = g.grad(s, &[x])[0];
+            let s1 = g.sum(d1);
+            let d2 = g.grad(s1, &[x])[0];
+            let s2 = g.sum(d2);
+            let d3 = g.grad(s2, &[x])[0];
+            g.value(d3).clone()
+        };
+        let lean = run(true);
+        let legacy = run(false);
+        for (a, b) in lean.as_slice().iter().zip(legacy.as_slice()) {
+            prop_assert!(
+                ulps(*a, *b) <= 64,
+                "order-3 drift beyond ulp level: {} vs {} ({} ulps)", a, b, ulps(*a, *b)
+            );
+        }
+    }
+}

@@ -200,7 +200,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// Result of [`vec`].
+    /// Result of [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: usize,
