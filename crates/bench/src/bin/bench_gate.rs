@@ -12,7 +12,7 @@
 //! fail the gate. To re-baseline after an intentional change, regenerate
 //! the baseline on main (see DESIGN.md, "Memory model") and commit it.
 
-use mf_bench::gate::{compare, parse_metrics, render_markdown};
+use mf_bench::gate::{baseline_provenance, compare, parse_metrics, render_markdown};
 use std::io::Write;
 
 fn load(path: &str) -> Vec<(String, mf_bench::gate::Metric)> {
@@ -30,7 +30,7 @@ fn main() {
     let baseline = load(baseline_path);
     let current = load(current_path);
     let (rows, unmatched) = compare(&baseline, &current);
-    let md = render_markdown(&rows, &unmatched);
+    let md = render_markdown(&rows, &unmatched, &baseline_provenance(baseline_path));
     println!("{md}");
 
     if let Ok(summary) = std::env::var("GITHUB_STEP_SUMMARY") {

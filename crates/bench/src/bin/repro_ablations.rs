@@ -192,10 +192,12 @@ fn ablate_conv_embedding(spec: mf_data::SubdomainSpec) {
 }
 
 fn main() {
+    let trace = init_telemetry();
     let spec = bench_spec();
     println!("Design-choice ablations (see DESIGN.md)");
     ablate_coarse_init(spec);
     ablate_comm_avoiding(spec);
     ablate_rank_order();
     ablate_conv_embedding(spec);
+    finish_trace(trace);
 }

@@ -33,6 +33,7 @@ fn ascii_map(diff: &Tensor, levels: &str) {
 }
 
 fn main() {
+    let trace = init_telemetry();
     let spec = bench_spec();
     // 2x2 spatial units = 4x4 atomic subdomains of 0.5 each.
     let domain = DomainSpec::new(spec, 4, 4);
@@ -103,4 +104,5 @@ fn main() {
     );
     println!("|MFP(SDNet) - reference| (dark = 0, bright = max):");
     ascii_map(&diff_net, " .:-=+*#%@");
+    finish_trace(trace);
 }

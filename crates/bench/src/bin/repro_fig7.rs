@@ -23,6 +23,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
+    let trace = init_telemetry();
     let spec = bench_spec();
     let (samples, epochs) = if full_scale() { (800, 150) } else { (320, 80) };
     let device_counts = [1usize, 2, 4];
@@ -103,4 +104,5 @@ fn main() {
          size — models trained with different device counts are equally good\n\
          subdomain solvers, despite their small validation-MSE differences."
     );
+    finish_trace(trace);
 }

@@ -19,6 +19,7 @@ use mf_dist::PerfModel;
 use mf_mfp::{run_distributed, DistMfpConfig, DomainSpec, MaeTarget, OracleSolver};
 
 fn main() {
+    let trace = init_telemetry();
     let spec = bench_spec();
     let (sx, sy) = if full_scale() { (16, 16) } else { (8, 8) };
     let ranks: Vec<usize> = if full_scale() {
@@ -137,4 +138,5 @@ fn main() {
          share growing — the compute column above falls ~1/P while modeled comm\n\
          shrinks only ~1/sqrt(P), reproducing the shape."
     );
+    finish_trace(trace);
 }

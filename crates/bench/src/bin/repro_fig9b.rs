@@ -17,6 +17,7 @@ use mf_dist::{CartesianGrid, PerfModel, RankOrder};
 use mf_mfp::{run_distributed, DistMfpConfig, DomainSpec, OracleSolver};
 
 fn main() {
+    let trace = init_telemetry();
     let spec = bench_spec();
     // Per-rank block of atomic subdomains (paper: 16x8 spatial per GPU).
     let (bx, by) = if full_scale() { (8, 4) } else { (4, 2) };
@@ -102,4 +103,5 @@ fn main() {
          paper saw the same ~4x rise from 2 to 8 GPUs followed by a plateau,\n\
          dominated by per-message latency (hence the mpi4py column)."
     );
+    finish_trace(trace);
 }

@@ -47,6 +47,7 @@ fn legacy_step(net: &SdNet, batch: &Batch) -> (usize, u64) {
 }
 
 fn main() {
+    let trace = init_telemetry();
     let spec = bench_spec();
     let domain_counts: Vec<usize> = if full_scale() {
         vec![1, 2, 5, 10, 20, 40, 80]
@@ -176,4 +177,5 @@ fn main() {
             r.blowup()
         );
     }
+    finish_trace(trace);
 }

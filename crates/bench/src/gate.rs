@@ -173,9 +173,43 @@ pub fn compare(
     (rows, unmatched)
 }
 
-/// Render comparisons as a GitHub-flavored markdown table.
-pub fn render_markdown(rows: &[Comparison], unmatched: &[String]) -> String {
+/// The baseline file's git provenance: `<short-hash> <date> (<subject>)`
+/// of the last commit touching it, so the gate summary says *which*
+/// baseline a PR was judged against. Returns a placeholder when the file
+/// is untracked or git is unavailable — provenance must never fail the
+/// gate.
+pub fn baseline_provenance(path: &str) -> String {
+    let out = std::process::Command::new("git")
+        .args([
+            "log",
+            "-1",
+            "--format=%h %ad %s",
+            "--date=short",
+            "--",
+            path,
+        ])
+        .output();
+    match out {
+        Ok(o) if o.status.success() => {
+            let line = String::from_utf8_lossy(&o.stdout).trim().to_string();
+            if line.is_empty() {
+                format!("{path}: not tracked in git")
+            } else {
+                line
+            }
+        }
+        _ => format!("{path}: git provenance unavailable"),
+    }
+}
+
+/// Render comparisons as a GitHub-flavored markdown table. `provenance`
+/// (from [`baseline_provenance`]) records which baseline commit the
+/// comparison used.
+pub fn render_markdown(rows: &[Comparison], unmatched: &[String], provenance: &str) -> String {
     let mut s = String::from("## Bench gate\n\n");
+    if !provenance.is_empty() {
+        let _ = writeln!(s, "Baseline: `{provenance}`\n");
+    }
     s.push_str("| metric | baseline | PR | change | budget | status |\n");
     s.push_str("|---|---:|---:|---:|---:|:---:|\n");
     for r in rows {
@@ -283,8 +317,18 @@ mod tests {
         let base = vec![("bytes".to_string(), m(100.0, 0.15, false))];
         let cur = vec![("bytes".to_string(), m(90.0, 0.15, false))];
         let (rows, unmatched) = compare(&base, &cur);
-        let md = render_markdown(&rows, &unmatched);
+        let md = render_markdown(&rows, &unmatched, "abc1234 2026-08-08 seed baseline");
         assert!(md.contains("| bytes |"));
         assert!(md.contains("✅"));
+        assert!(
+            md.contains("Baseline: `abc1234 2026-08-08 seed baseline`"),
+            "provenance line missing:\n{md}"
+        );
+    }
+
+    #[test]
+    fn provenance_never_panics_on_unknown_paths() {
+        let p = baseline_provenance("definitely/not/a/file.json");
+        assert!(!p.is_empty());
     }
 }

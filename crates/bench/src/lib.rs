@@ -39,12 +39,26 @@ pub fn emit_metrics(metrics: &[(String, gate::Metric)]) {
     }
 }
 
-/// Handle the shared `--trace PATH` flag: when present, enable span
-/// tracing and return the output path to hand to [`finish_trace`]. The
-/// `repro_*` binaries time their measured regions with
-/// [`mf_telemetry::timed`], so the printed tables and the exported trace
-/// come from the same spans.
+/// Handle the shared observability flags, identically across every
+/// `repro_*` binary:
+///
+/// * `--trace PATH` — enable span tracing; returns the output path to
+///   hand to [`finish_trace`]. The binaries time their measured regions
+///   with [`mf_telemetry::timed`], so the printed tables and the
+///   exported trace come from the same spans.
+/// * `--metrics` — print the merged telemetry report to stderr at exit.
+/// * `--watch` — periodic rendered reports (loss curve, step-time
+///   sparklines, residual heatmap) to stderr while running.
+/// * `MF_OBSERVE` — see [`mf_observe::init_from_env`] (post-mortem
+///   bundles, watch mode, recorder off).
 pub fn init_telemetry() -> Option<String> {
+    mf_observe::init_from_env();
+    if std::env::args().any(|a| a == "--metrics") {
+        mf_telemetry::set_metrics_report(true);
+    }
+    if std::env::args().any(|a| a == "--watch") {
+        mf_observe::set_watch(true);
+    }
     let path = std::env::args().skip_while(|a| a != "--trace").nth(1);
     if path.is_some() {
         mf_telemetry::set_tracing(true);
@@ -52,21 +66,27 @@ pub fn init_telemetry() -> Option<String> {
     path
 }
 
-/// Write the spans recorded since [`init_telemetry`] to `path` — Chrome
-/// `trace_event` JSON by default, JSON Lines when the path ends in
-/// `.jsonl`. No-op when `--trace` was not given.
+/// Write the spans (and cross-rank flow events) recorded since
+/// [`init_telemetry`] to `path` — Chrome `trace_event` JSON by default,
+/// JSON Lines when the path ends in `.jsonl`. No-op when `--trace` was
+/// not given.
 pub fn finish_trace(path: Option<String>) {
     let Some(path) = path else { return };
     mf_telemetry::flush_thread();
     let spans = mf_telemetry::drain_spans();
+    let flows = mf_telemetry::drain_flows();
     let mut body = Vec::new();
     let written = if path.ends_with(".jsonl") {
         mf_telemetry::write_jsonl(&spans, &mut body)
     } else {
-        mf_telemetry::write_chrome_trace(&spans, &mut body)
+        mf_telemetry::write_chrome_trace_with_flows(&spans, &flows, &mut body)
     };
     match written.and_then(|()| std::fs::write(&path, body)) {
-        Ok(()) => eprintln!("wrote {} span(s) to {path}", spans.len()),
+        Ok(()) => eprintln!(
+            "wrote {} span(s) and {} flow event(s) to {path}",
+            spans.len(),
+            flows.len()
+        ),
         Err(e) => eprintln!("failed to write trace: {e}"),
     }
 }

@@ -9,10 +9,13 @@ use crate::fault::{
     lock_robust, ClusterError, CommError, FaultBarrier, FaultCounters, FaultPlan, FaultState,
 };
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use mf_telemetry::{counter, gauge, histogram, span, Buckets, Counter, Gauge, Histogram};
+use mf_observe::{flow_id, RecKind};
+use mf_telemetry::{
+    counter, gauge, histogram, span, Buckets, Counter, FlowPhase, Gauge, Histogram,
+};
 use std::collections::{BTreeMap, HashSet};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -129,6 +132,11 @@ pub struct Communicator {
     /// Registry values at thread start / last `reset_stats`; `stats()`
     /// reports the delta since then.
     baseline: CommStats,
+    /// Shared scratch for [`align_clocks`](Self::align_clocks): one slot
+    /// per rank, written between two barriers. Deliberately *not* a link
+    /// message — clock alignment must never perturb the per-link fault
+    /// RNG streams or the message counters.
+    clock_samples: Arc<Vec<AtomicU64>>,
 }
 
 /// Factory for simulated clusters.
@@ -173,6 +181,8 @@ impl Cluster {
         }
         let barrier = Arc::new(FaultBarrier::new(size));
         let faults = Arc::new(FaultState::new(size, plan));
+        let clock_samples: Arc<Vec<AtomicU64>> =
+            Arc::new((0..size).map(|_| AtomicU64::new(0)).collect());
 
         let mut comms: Vec<Communicator> = receivers
             .into_iter()
@@ -195,6 +205,7 @@ impl Cluster {
                 counters: CommCounters::new(),
                 fcounters: FaultCounters::new(),
                 baseline: CommStats::default(),
+                clock_samples: Arc::clone(&clock_samples),
             })
             .collect();
         drop(senders_per_dst);
@@ -215,6 +226,11 @@ impl Cluster {
                         let rank = comm.rank;
                         let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(comm)));
                         mf_telemetry::flush_thread();
+                        // Flush the flight recorder after catch_unwind so
+                        // a panicked rank's recent history (its last halo
+                        // exchange, its last step) is preserved for the
+                        // post-mortem bundle.
+                        mf_observe::flush_rank(rank);
                         match out {
                             Ok(v) => Some(v),
                             Err(payload) => {
@@ -235,7 +251,20 @@ impl Cluster {
         if failed.is_empty() {
             Ok(outs.into_iter().map(|o| o.expect("rank result")).collect())
         } else {
-            Err(ClusterError { failed })
+            let err = ClusterError { failed };
+            // Post-mortem: every rank's flight recorder was flushed on
+            // thread exit above, so assemble the bundle now while the
+            // evidence is fresh. `dump` self-gates on MF_OBSERVE /
+            // set_dump_dir and never panics.
+            mf_observe::postmortem::dump(
+                &mf_observe::postmortem::DumpReason {
+                    kind: "cluster-failure".to_string(),
+                    detail: err.to_string(),
+                    failing_rank: Some(err.origin()),
+                },
+                &format!("size = {size}\nfault plan = {:?}", faults.plan),
+            );
+            Err(err)
         }
     }
 }
@@ -351,6 +380,29 @@ impl Communicator {
                 (seq, false, false, None)
             }
         };
+        // Causal tracing: a flow *start* stamped with the (epoch, step,
+        // seq, src→dst) coordinates plus a flight-recorder entry. Both
+        // are purely local — no extra messages, no RNG draws — so the
+        // per-link fault decision stream and the pinned message counts
+        // are untouched.
+        let fid = flow_id(self.rank, dst, seq);
+        if mf_telemetry::tracing_enabled() {
+            let ctx = mf_observe::step_context();
+            mf_telemetry::record_flow(
+                "comm.send",
+                fid,
+                FlowPhase::Start,
+                &[
+                    ("epoch", ctx.epoch as f64),
+                    ("step", ctx.step as f64),
+                    ("seq", seq as f64),
+                    ("src", self.rank as f64),
+                    ("dst", dst as f64),
+                    ("bytes", (payload.len() * 8) as f64),
+                ],
+            );
+        }
+        mf_observe::record(RecKind::Send, "comm.send", fid, (payload.len() * 8) as f64);
         if let Some(us) = delay_us {
             if us > 0 {
                 self.fcounters.delayed.incr();
@@ -410,6 +462,32 @@ impl Communicator {
             }
             self.counters.msgs_recv.incr();
             self.counters.bytes_recv.add((msg.payload.len() * 8) as u64);
+            // Causal tracing: close the sender's flow on delivery so the
+            // merged Chrome trace draws an arrow from the send site to
+            // this rank's receive.
+            let fid = flow_id(src, self.rank, msg.seq);
+            if mf_telemetry::tracing_enabled() {
+                let ctx = mf_observe::step_context();
+                mf_telemetry::record_flow(
+                    "comm.recv",
+                    fid,
+                    FlowPhase::Finish,
+                    &[
+                        ("epoch", ctx.epoch as f64),
+                        ("step", ctx.step as f64),
+                        ("seq", msg.seq as f64),
+                        ("src", src as f64),
+                        ("dst", self.rank as f64),
+                        ("bytes", (msg.payload.len() * 8) as f64),
+                    ],
+                );
+            }
+            mf_observe::record(
+                RecKind::Recv,
+                "comm.recv",
+                fid,
+                (msg.payload.len() * 8) as f64,
+            );
             out.push(msg);
         }
         out
@@ -467,6 +545,7 @@ impl Communicator {
                     let now = Instant::now();
                     if now >= d {
                         self.fcounters.timeouts.incr();
+                        mf_observe::record(RecKind::CommError, "comm.timeout", src as u64, 0.0);
                         return Err(CommError::Timeout { src, tag, retries });
                     }
                     TICK.min(d - now)
@@ -491,12 +570,24 @@ impl Communicator {
                     // a sender to ourselves): poll the failure flags, then
                     // the retry budget.
                     if let Some(rank) = self.faults.any_failed() {
+                        mf_observe::record(
+                            RecKind::CommError,
+                            "comm.rank_failed",
+                            rank as u64,
+                            0.0,
+                        );
                         return Err(CommError::RankFailed { rank });
                     }
                     if lossy && matches!(mode, WaitMode::Block) && Instant::now() >= round_deadline
                     {
                         if retries >= retry.max_retries {
                             self.fcounters.timeouts.incr();
+                            mf_observe::record(
+                                RecKind::CommError,
+                                "comm.timeout",
+                                src as u64,
+                                retries as f64,
+                            );
                             return Err(CommError::Timeout { src, tag, retries });
                         }
                         retries += 1;
@@ -568,6 +659,34 @@ impl Communicator {
         }
     }
 
+    /// Align per-rank monotonic clocks at a barrier point and report each
+    /// rank's offset relative to rank 0 as the `observe.clock_offset_us`
+    /// gauge (plus a flight-recorder mark).
+    ///
+    /// All ranks share one telemetry epoch (`mf_telemetry::now_us` reads
+    /// a process-wide `Instant`), so the offset measures residual barrier
+    /// jitter rather than true clock skew — on a real deployment this is
+    /// the hook where NTP-style skew would be estimated. Implemented with
+    /// two barriers and a shared atomic slot per rank, deliberately *not*
+    /// with link messages: alignment must never perturb the per-link
+    /// fault RNG streams or the pinned message counters.
+    pub fn align_clocks(&mut self) -> f64 {
+        self.barrier();
+        self.clock_samples[self.rank].store(mf_telemetry::now_us(), Ordering::SeqCst);
+        self.barrier();
+        let mine = self.clock_samples[self.rank].load(Ordering::SeqCst) as f64;
+        let base = self.clock_samples[0].load(Ordering::SeqCst) as f64;
+        let offset_us = mine - base;
+        gauge("observe.clock_offset_us").set(offset_us);
+        mf_observe::record(
+            RecKind::Mark,
+            "observe.align_clocks",
+            self.rank as u64,
+            offset_us,
+        );
+        offset_us
+    }
+
     /// Exchange buffers with a set of peers: send to every peer, then
     /// receive one buffer from each. This is the halo-exchange primitive
     /// of the distributed MFP (§4.2). Sends complete before any receive
@@ -578,6 +697,12 @@ impl Communicator {
             "comm.exchange",
             peers = outgoing.len() as f64,
             bytes = bytes as f64
+        );
+        mf_observe::record(
+            RecKind::Collective,
+            "comm.exchange",
+            outgoing.len() as u64,
+            bytes as f64,
         );
         self.counters.exchange_bytes.record(bytes as f64);
         for (dst, payload) in outgoing {
@@ -608,6 +733,12 @@ impl Communicator {
             "comm.exchange",
             peers = outgoing.len() as f64,
             bytes = bytes as f64
+        );
+        mf_observe::record(
+            RecKind::Collective,
+            "comm.exchange_deadline",
+            outgoing.len() as u64,
+            bytes as f64,
         );
         self.counters.exchange_bytes.record(bytes as f64);
         for (dst, payload) in outgoing {
@@ -643,6 +774,12 @@ impl Communicator {
             "comm.allreduce",
             bytes = bytes as f64,
             elems = buf.len() as f64
+        );
+        mf_observe::record(
+            RecKind::Collective,
+            "comm.allreduce",
+            self.size as u64,
+            buf.len() as f64,
         );
         let t0 = Instant::now();
         if self.size > 1 {
@@ -802,6 +939,12 @@ impl Communicator {
     /// Per-rank payload lengths may differ (ragged gather).
     pub fn allgather(&mut self, local: &[f64]) -> Vec<Vec<f64>> {
         span!("comm.allgather", bytes = (local.len() * 8) as f64);
+        mf_observe::record(
+            RecKind::Collective,
+            "comm.allgather",
+            self.size as u64,
+            local.len() as f64,
+        );
         let mut out = vec![Vec::new(); self.size];
         for dst in 0..self.size {
             if dst != self.rank {
@@ -829,6 +972,12 @@ impl Communicator {
     pub fn broadcast(&mut self, root: usize, buf: &mut Vec<f64>) {
         assert!(root < self.size, "broadcast: root {root} out of range");
         span!("comm.broadcast", bytes = (buf.len() * 8) as f64);
+        mf_observe::record(
+            RecKind::Collective,
+            "comm.broadcast",
+            self.size as u64,
+            buf.len() as f64,
+        );
         let p = self.size;
         if p == 1 {
             return;

@@ -15,9 +15,11 @@ use crate::seq::MaeTarget;
 use crate::solver::SubdomainSolver;
 use mf_dist::thread_cpu_time;
 use mf_dist::{
-    CartesianGrid, Cluster, ClusterError, CommError, CommStats, Direction, FaultPlan, RankOrder,
+    CartesianGrid, Cluster, ClusterError, CommError, CommStats, Communicator, Direction, FaultPlan,
+    RankOrder,
 };
 use mf_numerics::boundary::apply_boundary;
+use mf_observe::{RecKind, StallDetector};
 use mf_telemetry::{counter, histogram, span, Buckets};
 use mf_tensor::Tensor;
 use std::time::Duration;
@@ -119,6 +121,62 @@ struct Partition<'a> {
 }
 
 type Region = (std::ops::Range<usize>, std::ops::Range<usize>);
+
+/// Watch-mode side channel: gather every rank's per-atomic-subdomain
+/// residual (mean |u − prev| over the window) and render the lattice
+/// heatmap report on rank 0. Only called when watch mode is enabled, so
+/// its allgather never runs under the pinned-message-count fixtures.
+#[allow(clippy::too_many_arguments)]
+fn watch_residual_report(
+    comm: &mut Communicator,
+    domain: &DomainSpec,
+    owned: &Region,
+    u: &Tensor,
+    prev: &Tensor,
+    deltas: &[f64],
+    iteration: usize,
+    stalled: bool,
+    stale_in_window: u64,
+) {
+    // Encode owned atoms as (lattice index, residual) pairs: the gather
+    // is ragged, each rank contributes only what it owns.
+    let mut local = Vec::new();
+    for (idx, sd) in domain.atomic_subdomains().into_iter().enumerate() {
+        if owned.0.contains(&sd.oy) && owned.1.contains(&sd.ox) {
+            let a = domain.read_window_field(u, sd);
+            let b = domain.read_window_field(prev, sd);
+            let n = a.numel().max(1) as f64;
+            let resid = a
+                .as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .map(|(x, y)| (x - y).abs())
+                .sum::<f64>()
+                / n;
+            local.push(idx as f64);
+            local.push(resid);
+        }
+    }
+    let gathered = comm.allgather(&local);
+    if comm.rank() == 0 {
+        let mut grid = vec![0.0; domain.sx * domain.sy];
+        for pair in gathered.iter().flat_map(|v| v.chunks_exact(2)) {
+            grid[pair[0] as usize] = pair[1];
+        }
+        eprint!(
+            "{}",
+            mf_observe::mfp_watch_report(
+                iteration,
+                deltas,
+                &grid,
+                domain.sy,
+                domain.sx,
+                stalled,
+                stale_in_window,
+            )
+        );
+    }
+}
 
 impl<'a> Partition<'a> {
     fn new(domain: &'a DomainSpec, ranks: usize, order: RankOrder) -> Self {
@@ -351,6 +409,10 @@ pub fn try_run_distributed_shifted<S: SubdomainSolver>(
 
     let per_rank = Cluster::try_run(ranks, cfg.plan.clone(), |comm| {
         let rank = comm.rank();
+        // Align per-rank clocks before iterating so the merged trace rows
+        // share a time base (barrier-only: no link messages, so the
+        // fault RNG streams and pinned message counts are untouched).
+        comm.align_clocks();
         let owned = part.owned(rank);
         let neighbors = part.grid.neighbors(rank);
         let stale_counter = counter("mfp.stale_halos");
@@ -383,11 +445,26 @@ pub fn try_run_distributed_shifted<S: SubdomainSolver>(
         let h_residual = histogram("mfp.residual", Buckets::exponential(1e-9, 10.0, 12));
         let h_halo = histogram("mfp.halo_bytes", Buckets::bytes());
 
+        // Convergence watchdog: trips after 5 residual checks without a
+        // ≥ 1% improvement; in degraded mode the stale-halo delta over
+        // the same window attributes the stall to a late neighbor.
+        let mut stall = StallDetector::new(5);
+        let stalls_counter = counter("mfp.stalls");
+        let stall_stale_counter = counter("mfp.stall_stale_halos");
+        let mut stale_at_window = 0usize;
+
         for it in 0..cfg.max_iters {
+            mf_observe::set_step_context(0, it as u64);
             span!(
                 "mfp.iteration",
                 it = it as f64,
                 owned = owned_subdomains as f64
+            );
+            mf_observe::record(
+                RecKind::Iteration,
+                "mfp.iteration",
+                owned_subdomains as u64,
+                deltas.last().copied().unwrap_or(f64::NAN),
             );
             let prev = u.clone();
 
@@ -481,6 +558,32 @@ pub fn try_run_distributed_shifted<S: SubdomainSolver>(
                 let delta = (nums[0] / nums[1].max(f64::MIN_POSITIVE)).sqrt();
                 h_residual.record(delta);
                 deltas.push(delta);
+                let stalled = stall.observe(delta);
+                if stalled {
+                    stalls_counter.incr();
+                    let stale_in_window = (stale_halos - stale_at_window) as u64;
+                    stall_stale_counter.add(stale_in_window);
+                    mf_observe::record(RecKind::Health, "mfp.stall", stale_in_window, delta);
+                }
+                if mf_observe::watch_enabled() {
+                    // Watch is opt-in, so the extra allgather never runs
+                    // under the pinned-message-count regression fixtures.
+                    let stale_in_window = (stale_halos - stale_at_window) as u64;
+                    watch_residual_report(
+                        comm,
+                        domain,
+                        &owned,
+                        &u,
+                        &prev,
+                        &deltas,
+                        iterations,
+                        stalled,
+                        stale_in_window,
+                    );
+                }
+                if stalled {
+                    stale_at_window = stale_halos;
+                }
                 if delta < cfg.tol {
                     converged = true;
                     break;

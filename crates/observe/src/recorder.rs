@@ -1,0 +1,290 @@
+//! The always-on flight recorder: a fixed-size per-thread ring buffer of
+//! compact events.
+//!
+//! Each simulated rank (thread) owns one ring of [`RING_CAPACITY`]
+//! [`RecEvent`]s — plain `Copy` records, so recording after the first
+//! event is an index bump and a slot write with zero heap traffic (the
+//! warm-training-step allocation pin and the CI `observe.overhead` gate
+//! both depend on this). The ring keeps only the *recent* history; old
+//! events are overwritten, which is exactly the "last N seconds" a
+//! post-mortem needs.
+//!
+//! The cluster flushes every rank's ring into a process-wide registry on
+//! thread exit ([`flush_rank`]) — including ranks that exited by panic —
+//! so [`crate::postmortem`] can assemble a bundle covering all ranks.
+
+use crate::context::step_context;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Events retained per rank before the ring wraps.
+pub const RING_CAPACITY: usize = 4096;
+
+/// What a flight-recorder event describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecKind {
+    /// A point-to-point send (`a` = flow id, `b` = payload bytes).
+    Send,
+    /// A delivered message (`a` = flow id, `b` = payload bytes).
+    Recv,
+    /// A collective entry (`a` = participant count, `b` = element count).
+    Collective,
+    /// A training step (`b` = loss).
+    Step,
+    /// A solver iteration (`b` = residual when known).
+    Iteration,
+    /// A communication error (timeout, failed peer; `a` = peer rank).
+    CommError,
+    /// A numerical-health incident (`b` = offending value or count).
+    Health,
+    /// Anything else worth keeping (clock offsets, phase markers).
+    Mark,
+}
+
+/// One compact flight-recorder entry. `Copy`, fixed-size: the ring never
+/// allocates after construction.
+#[derive(Clone, Copy, Debug)]
+pub struct RecEvent {
+    /// Microseconds since the telemetry epoch.
+    pub t_us: u64,
+    /// Event class.
+    pub kind: RecKind,
+    /// Static site name (e.g. `"comm.send"`).
+    pub name: &'static str,
+    /// Epoch from the thread's step context at record time.
+    pub epoch: u64,
+    /// Step/iteration from the thread's step context at record time.
+    pub step: u64,
+    /// Kind-specific integer payload (flow id, peer rank, …).
+    pub a: u64,
+    /// Kind-specific float payload (bytes, loss, residual, …).
+    pub b: f64,
+}
+
+struct Ring {
+    buf: Vec<RecEvent>,
+    /// Next write position.
+    cursor: usize,
+    /// Total events ever recorded (used to detect wrap).
+    total: u64,
+}
+
+impl Ring {
+    const fn new() -> Self {
+        Self {
+            buf: Vec::new(),
+            cursor: 0,
+            total: 0,
+        }
+    }
+
+    fn push(&mut self, e: RecEvent) {
+        if self.buf.capacity() == 0 {
+            // One-time allocation per thread; warm-path records after
+            // this are slot writes only.
+            self.buf.reserve_exact(RING_CAPACITY);
+        }
+        if self.buf.len() < RING_CAPACITY {
+            self.buf.push(e);
+            self.cursor = self.buf.len() % RING_CAPACITY;
+        } else {
+            self.buf[self.cursor] = e;
+            self.cursor = (self.cursor + 1) % RING_CAPACITY;
+        }
+        self.total += 1;
+    }
+
+    /// Events in chronological order (oldest first).
+    fn chronological(&self) -> Vec<RecEvent> {
+        if self.buf.len() < RING_CAPACITY {
+            self.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(RING_CAPACITY);
+            out.extend_from_slice(&self.buf[self.cursor..]);
+            out.extend_from_slice(&self.buf[..self.cursor]);
+            out
+        }
+    }
+}
+
+thread_local! {
+    static RING: RefCell<Ring> = const { RefCell::new(Ring::new()) };
+}
+
+/// Recorder master switch. On by default (it is a *flight* recorder);
+/// `MF_OBSERVE=off` or [`set_recording`] disable it for overhead A/B
+/// measurements.
+static RECORDING: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable the flight recorder globally.
+pub fn set_recording(on: bool) {
+    RECORDING.store(on, Ordering::SeqCst);
+}
+
+/// Whether the recorder is on. One relaxed atomic load — the entire
+/// disabled cost of a [`record`] site.
+#[inline]
+pub fn recording_enabled() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}
+
+/// Record one event into the current thread's ring. No-op when the
+/// recorder is disabled; never allocates after the thread's first event.
+#[inline]
+pub fn record(kind: RecKind, name: &'static str, a: u64, b: f64) {
+    if !recording_enabled() {
+        return;
+    }
+    let ctx = step_context();
+    let e = RecEvent {
+        t_us: mf_telemetry::now_us(),
+        kind,
+        name,
+        epoch: ctx.epoch,
+        step: ctx.step,
+        a,
+        b,
+    };
+    RING.with(|r| r.borrow_mut().push(e));
+}
+
+/// One rank's flushed flight-recorder state.
+#[derive(Clone, Debug, Default)]
+pub struct RankRecord {
+    /// Ring contents, oldest first.
+    pub events: Vec<RecEvent>,
+    /// The rank's serialized [`mf_telemetry::MetricsSnapshot`] at flush
+    /// time.
+    pub metrics: String,
+    /// Total events ever recorded (>= `events.len()` once wrapped).
+    pub total: u64,
+}
+
+impl RankRecord {
+    /// The last step context the rank reached, if it recorded anything.
+    pub fn last_step(&self) -> Option<(u64, u64)> {
+        self.events.last().map(|e| (e.epoch, e.step))
+    }
+}
+
+static REGISTRY: Mutex<BTreeMap<usize, RankRecord>> = Mutex::new(BTreeMap::new());
+
+/// Move the current thread's ring (plus its metrics snapshot) into the
+/// process-wide registry under `rank`. Called by the cluster on every
+/// rank thread as it exits — after `catch_unwind`, so panicked ranks are
+/// captured too. A later flush for the same rank replaces the earlier
+/// one (rank ids are reused across cluster runs in one process).
+pub fn flush_rank(rank: usize) {
+    let (events, total) = RING.with(|r| {
+        let mut r = r.borrow_mut();
+        let events = r.chronological();
+        let total = r.total;
+        r.buf.clear();
+        r.cursor = 0;
+        r.total = 0;
+        (events, total)
+    });
+    let metrics = mf_telemetry::snapshot().serialize();
+    let mut reg = match REGISTRY.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    reg.insert(
+        rank,
+        RankRecord {
+            events,
+            metrics,
+            total,
+        },
+    );
+}
+
+/// Take every flushed rank record, oldest rank first. The registry is
+/// left empty.
+pub fn drain_all() -> Vec<(usize, RankRecord)> {
+    let mut reg = match REGISTRY.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    std::mem::take(&mut *reg).into_iter().collect()
+}
+
+/// Discard the current thread's ring and every flushed record.
+pub fn clear() {
+    RING.with(|r| {
+        let mut r = r.borrow_mut();
+        r.buf.clear();
+        r.cursor = 0;
+        r.total = 0;
+    });
+    match REGISTRY.lock() {
+        Ok(mut g) => g.clear(),
+        Err(p) => p.into_inner().clear(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_only_the_most_recent_events() {
+        let mut ring = Ring::new();
+        for i in 0..(RING_CAPACITY as u64 + 10) {
+            ring.push(RecEvent {
+                t_us: i,
+                kind: RecKind::Mark,
+                name: "t",
+                epoch: 0,
+                step: i,
+                a: 0,
+                b: 0.0,
+            });
+        }
+        let chron = ring.chronological();
+        assert_eq!(chron.len(), RING_CAPACITY);
+        assert_eq!(chron.first().unwrap().t_us, 10);
+        assert_eq!(chron.last().unwrap().t_us, RING_CAPACITY as u64 + 9);
+        assert!(chron.windows(2).all(|w| w[0].t_us < w[1].t_us));
+        assert_eq!(ring.total, RING_CAPACITY as u64 + 10);
+    }
+
+    // One test covers the shared registry end to end: drain_all is
+    // destructive, so concurrent #[test]s would steal each other's
+    // flushes.
+    #[test]
+    fn flush_drain_and_disable_behave_on_the_shared_registry() {
+        clear();
+        // A panicking "rank" thread still gets its ring flushed.
+        std::thread::spawn(|| {
+            crate::set_step_context(1, 7);
+            record(RecKind::Step, "test.step", 0, 0.5);
+            let caught = std::panic::catch_unwind(|| panic!("injected"));
+            assert!(caught.is_err());
+            flush_rank(3);
+            crate::set_step_context(0, 0);
+        })
+        .join()
+        .unwrap();
+        // A disabled recorder drops events on another thread.
+        std::thread::spawn(|| {
+            set_recording(false);
+            record(RecKind::Mark, "test.disabled", 0, 0.0);
+            set_recording(true);
+            flush_rank(9);
+        })
+        .join()
+        .unwrap();
+
+        let all = drain_all();
+        let rec = &all.iter().find(|(r, _)| *r == 3).expect("rank 3 flushed").1;
+        assert_eq!(rec.events.len(), 1);
+        assert_eq!(rec.last_step(), Some((1, 7)));
+        assert!(rec.metrics.starts_with("mfm1"));
+        let rec9 = &all.iter().find(|(r, _)| *r == 9).expect("rank 9 flushed").1;
+        assert!(rec9.events.iter().all(|e| e.name != "test.disabled"));
+        assert!(drain_all().is_empty());
+    }
+}

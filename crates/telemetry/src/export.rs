@@ -2,6 +2,7 @@
 //! JSON (loadable in `chrome://tracing` / Perfetto), plus parsers that
 //! invert them exactly — used by tests and offline tooling.
 
+use crate::flow::{FlowEvent, FlowPhase};
 use crate::json::{escape, JsonValue};
 use crate::span::SpanEvent;
 use std::io::{self, Write};
@@ -41,9 +42,26 @@ pub fn write_jsonl<W: Write>(events: &[SpanEvent], w: &mut W) -> io::Result<()> 
 /// (`"ph":"X"`) events with microsecond `ts`/`dur`, `pid` 0, and the rank
 /// as `tid`, so each rank renders as one flame-graph row.
 pub fn write_chrome_trace<W: Write>(events: &[SpanEvent], w: &mut W) -> io::Result<()> {
+    write_chrome_trace_with_flows(events, &[], w)
+}
+
+/// Write a Chrome trace with both slice events and cross-rank flow
+/// events. Flows are emitted as `ph:"s"` (start) / `ph:"f"` with
+/// `bp:"e"` (finish, bound to enclosing slice) pairs sharing an `id`, so
+/// Perfetto draws an arrow from the sending rank's slice to the
+/// receiving rank's — this is how one merged timeline shows a halo
+/// arriving late or an allreduce waiting on a straggler.
+pub fn write_chrome_trace_with_flows<W: Write>(
+    events: &[SpanEvent],
+    flows: &[FlowEvent],
+    w: &mut W,
+) -> io::Result<()> {
+    let total = events.len() + flows.len();
     writeln!(w, "[")?;
-    for (i, e) in events.iter().enumerate() {
-        let sep = if i + 1 == events.len() { "" } else { "," };
+    let mut written = 0usize;
+    for e in events {
+        written += 1;
+        let sep = if written == total { "" } else { "," };
         writeln!(
             w,
             "{{\"name\":\"{}\",\"cat\":\"mf\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"depth\":{},\"args\":{}}}{sep}",
@@ -53,6 +71,25 @@ pub fn write_chrome_trace<W: Write>(events: &[SpanEvent], w: &mut W) -> io::Resu
             e.rank,
             e.depth,
             fmt_args(&e.args)
+        )?;
+    }
+    for f in flows {
+        written += 1;
+        let sep = if written == total { "" } else { "," };
+        let phase = match f.phase {
+            FlowPhase::Start => "\"ph\":\"s\"",
+            FlowPhase::Finish => "\"ph\":\"f\",\"bp\":\"e\"",
+        };
+        // The id is a string: packed flow ids use all 64 bits and would
+        // lose precision as a JSON double.
+        writeln!(
+            w,
+            "{{\"name\":\"{}\",\"cat\":\"mf.flow\",{phase},\"id\":\"{}\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{}}}{sep}",
+            escape(&f.name),
+            f.id,
+            f.ts_us,
+            f.rank,
+            fmt_args(&f.args)
         )?;
     }
     writeln!(w, "]")?;
@@ -101,22 +138,68 @@ pub fn parse_jsonl(s: &str) -> Result<Vec<SpanEvent>, String> {
         .collect()
 }
 
-/// Parse a Chrome trace written by [`write_chrome_trace`].
+fn flow_from_json(v: &JsonValue, phase: FlowPhase) -> Result<FlowEvent, String> {
+    let name = v
+        .get("name")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing field \"name\"")?
+        .to_string();
+    let id = match v.get("id") {
+        Some(JsonValue::Str(s)) => s
+            .parse::<u64>()
+            .map_err(|e| format!("flow event {name}: bad id: {e}"))?,
+        Some(other) => other
+            .as_f64()
+            .map(|f| f as u64)
+            .ok_or_else(|| format!("flow event {name}: non-numeric id"))?,
+        None => return Err(format!("flow event {name}: missing id")),
+    };
+    let args = match v.get("args") {
+        Some(JsonValue::Obj(members)) => members
+            .iter()
+            .map(|(k, val)| {
+                val.as_f64()
+                    .map(|f| (k.clone(), f))
+                    .ok_or_else(|| format!("non-numeric arg {k:?}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => Vec::new(),
+    };
+    Ok(FlowEvent {
+        name,
+        rank: field_u64(v, "tid")? as usize,
+        ts_us: field_u64(v, "ts")?,
+        id,
+        phase,
+        args,
+    })
+}
+
+/// Parse a Chrome trace written by [`write_chrome_trace`] or
+/// [`write_chrome_trace_with_flows`], returning only the slice events
+/// (flow events are skipped).
 pub fn parse_chrome_trace(s: &str) -> Result<Vec<SpanEvent>, String> {
+    parse_chrome_trace_full(s).map(|(spans, _)| spans)
+}
+
+/// Parse a Chrome trace written by [`write_chrome_trace_with_flows`],
+/// returning both slice and flow events.
+pub fn parse_chrome_trace_full(s: &str) -> Result<(Vec<SpanEvent>, Vec<FlowEvent>), String> {
     let doc = JsonValue::parse(s)?;
     let events = doc
         .as_arr()
         .ok_or("chrome trace: top level is not an array")?;
-    events
-        .iter()
-        .map(|e| {
-            match e.get("ph").and_then(JsonValue::as_str) {
-                Some("X") => {}
-                other => return Err(format!("unsupported event phase {other:?}")),
-            }
-            event_from_json(e, "tid")
-        })
-        .collect()
+    let mut spans = Vec::new();
+    let mut flows = Vec::new();
+    for e in events {
+        match e.get("ph").and_then(JsonValue::as_str) {
+            Some("X") => spans.push(event_from_json(e, "tid")?),
+            Some("s") => flows.push(flow_from_json(e, FlowPhase::Start)?),
+            Some("f") => flows.push(flow_from_json(e, FlowPhase::Finish)?),
+            other => return Err(format!("unsupported event phase {other:?}")),
+        }
+    }
+    Ok((spans, flows))
 }
 
 #[cfg(test)]
@@ -212,5 +295,68 @@ mod tests {
         write_chrome_trace(&[], &mut buf).unwrap();
         let back = parse_chrome_trace(&String::from_utf8(buf).unwrap()).unwrap();
         assert!(back.is_empty());
+    }
+
+    #[test]
+    fn flows_round_trip_and_preserve_full_64_bit_ids() {
+        // Pack src/dst into the top bits: this id is NOT representable as
+        // an f64, so it must survive as a string.
+        let id = (3u64 << 56) | (1u64 << 48) | 0xFFFF_FFFF_FFFF;
+        let flows = vec![
+            FlowEvent {
+                name: "comm.send".into(),
+                rank: 3,
+                ts_us: 100,
+                id,
+                phase: FlowPhase::Start,
+                args: vec![("bytes".into(), 64.0)],
+            },
+            FlowEvent {
+                name: "comm.recv".into(),
+                rank: 1,
+                ts_us: 180,
+                id,
+                phase: FlowPhase::Finish,
+                args: vec![],
+            },
+        ];
+        let events = sample_events();
+        let mut buf = Vec::new();
+        write_chrome_trace_with_flows(&events, &flows, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let (spans_back, flows_back) = parse_chrome_trace_full(&text).unwrap();
+        assert_eq!(spans_back, events);
+        assert_eq!(flows_back, flows);
+        // The span-only parser tolerates (skips) flow phases.
+        assert_eq!(parse_chrome_trace(&text).unwrap(), events);
+        // Structural validity of the flow pair: "s" then "f" with bp:"e".
+        let doc = JsonValue::parse(&text).unwrap();
+        let arr = doc.as_arr().unwrap();
+        let start = &arr[events.len()];
+        let finish = &arr[events.len() + 1];
+        assert_eq!(start.get("ph").and_then(JsonValue::as_str), Some("s"));
+        assert_eq!(finish.get("ph").and_then(JsonValue::as_str), Some("f"));
+        assert_eq!(finish.get("bp").and_then(JsonValue::as_str), Some("e"));
+        assert_eq!(
+            start.get("id").and_then(JsonValue::as_str),
+            finish.get("id").and_then(JsonValue::as_str)
+        );
+    }
+
+    #[test]
+    fn flows_only_trace_is_valid() {
+        let flows = vec![FlowEvent {
+            name: "f".into(),
+            rank: 0,
+            ts_us: 1,
+            id: 7,
+            phase: FlowPhase::Start,
+            args: vec![],
+        }];
+        let mut buf = Vec::new();
+        write_chrome_trace_with_flows(&[], &flows, &mut buf).unwrap();
+        let (spans, back) = parse_chrome_trace_full(&String::from_utf8(buf).unwrap()).unwrap();
+        assert!(spans.is_empty());
+        assert_eq!(back, flows);
     }
 }

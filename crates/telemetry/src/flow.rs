@@ -1,0 +1,91 @@
+//! Cross-rank flow events: the causal half of the trace.
+//!
+//! A span shows *where time went on one rank*; a flow connects two spans
+//! on different ranks — a message leaving its sender and arriving at its
+//! receiver. Each flow carries a caller-chosen 64-bit id; the Chrome
+//! exporter emits the pair as `ph:"s"` / `ph:"f"` events with that id, so
+//! Perfetto draws an arrow between the enclosing slices and a merged
+//! timeline shows halo exchanges and allreduce straggler lag across all
+//! simulated ranks.
+//!
+//! Like spans, flows are buffered thread-locally and gated on
+//! [`crate::tracing_enabled`] by convention (callers check before
+//! recording); [`crate::flush_thread`] moves them into the process-wide
+//! collector.
+
+use crate::now_us;
+use crate::sink::SINK;
+
+/// Which end of a flow an event marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowPhase {
+    /// The producing end (a send) — Chrome phase `"s"`.
+    Start,
+    /// The consuming end (a delivery) — Chrome phase `"f"`.
+    Finish,
+}
+
+/// One endpooint of a cross-rank flow.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlowEvent {
+    /// Site name, e.g. `"comm.send"`.
+    pub name: String,
+    /// Rank of the recording thread (0 for untagged threads).
+    pub rank: usize,
+    /// Timestamp, microseconds since the telemetry epoch.
+    pub ts_us: u64,
+    /// Flow id; the start and finish ends of one flow share it.
+    pub id: u64,
+    /// Which end this event is.
+    pub phase: FlowPhase,
+    /// Numeric arguments captured at record time.
+    pub args: Vec<(String, f64)>,
+}
+
+/// Record one end of a cross-rank flow on the current thread.
+///
+/// Callers should check [`crate::tracing_enabled`] first (the simulated
+/// communicator does), keeping the disabled cost to one atomic load.
+pub fn record_flow(name: &'static str, id: u64, phase: FlowPhase, args: &[(&'static str, f64)]) {
+    let ts_us = now_us();
+    SINK.with(|s| {
+        let mut s = s.borrow_mut();
+        let rank = s.rank.unwrap_or(0);
+        s.flows.push(FlowEvent {
+            name: name.to_string(),
+            rank,
+            ts_us,
+            id,
+            phase,
+            args: args.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{drain_flows, flush_thread};
+
+    #[test]
+    fn flows_record_rank_id_and_phase() {
+        std::thread::spawn(|| {
+            crate::set_thread_rank(5);
+            record_flow("flow.test.a", 42, FlowPhase::Start, &[("bytes", 64.0)]);
+            record_flow("flow.test.a", 42, FlowPhase::Finish, &[]);
+            flush_thread();
+        })
+        .join()
+        .unwrap();
+        let flows: Vec<FlowEvent> = drain_flows()
+            .into_iter()
+            .filter(|f| f.name == "flow.test.a")
+            .collect();
+        assert_eq!(flows.len(), 2);
+        assert!(flows.iter().all(|f| f.rank == 5 && f.id == 42));
+        assert_eq!(flows[0].phase, FlowPhase::Start);
+        assert_eq!(flows[0].args, vec![("bytes".to_string(), 64.0)]);
+        assert_eq!(flows[1].phase, FlowPhase::Finish);
+        assert!(drain_flows().iter().all(|f| f.name != "flow.test.a"));
+    }
+}

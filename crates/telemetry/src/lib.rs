@@ -38,13 +38,18 @@
 //! ```
 
 mod export;
+mod flow;
 mod json;
 mod metrics;
 mod report;
 mod sink;
 mod span;
 
-pub use export::{parse_chrome_trace, parse_jsonl, write_chrome_trace, write_jsonl};
+pub use export::{
+    parse_chrome_trace, parse_chrome_trace_full, parse_jsonl, write_chrome_trace,
+    write_chrome_trace_with_flows, write_jsonl,
+};
+pub use flow::{record_flow, FlowEvent, FlowPhase};
 pub use json::JsonValue;
 pub use metrics::{
     counter, gauge, histogram, snapshot, Buckets, Counter, Gauge, HistSnapshot, Histogram,
@@ -52,7 +57,8 @@ pub use metrics::{
 };
 pub use report::render_report;
 pub use sink::{
-    clear_spans, drain_spans, flush_thread, reset_thread_metrics, set_thread_rank, thread_rank,
+    clear_spans, drain_flows, drain_spans, flush_thread, reset_thread_metrics, set_thread_rank,
+    thread_rank,
 };
 pub use span::{begin_span, with_span, SpanEvent, SpanGuard};
 

@@ -333,6 +333,52 @@ impl HistSnapshot {
         f64::INFINITY
     }
 
+    /// Interpolated estimate of the `q`-quantile: finds the bucket
+    /// holding the `q`-th observation and interpolates linearly within
+    /// it, clamping to the observed `[min, max]` so estimates never
+    /// stray outside the data (unlike [`HistSnapshot::quantile`], which
+    /// reports the raw bucket upper bound and returns infinity for the
+    /// overflow bucket). Returns 0 when empty.
+    pub fn quantile_est(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = cum + c as f64;
+            if next >= target && c > 0 {
+                // Bucket i spans (bounds[i-1], bounds[i]]; the implicit
+                // edges are the observed min and max.
+                let lo = if i == 0 {
+                    self.min
+                } else {
+                    self.bounds[i - 1].max(self.min)
+                };
+                let hi = self
+                    .bounds
+                    .get(i)
+                    .copied()
+                    .unwrap_or(self.max)
+                    .min(self.max);
+                let hi = hi.max(lo);
+                let frac = ((target - cum) / c as f64).clamp(0.0, 1.0);
+                return lo + (hi - lo) * frac;
+            }
+            cum = next;
+        }
+        self.max
+    }
+
+    /// Convenience: interpolated `[p50, p95, p99]` estimates.
+    pub fn percentiles(&self) -> [f64; 3] {
+        [
+            self.quantile_est(0.50),
+            self.quantile_est(0.95),
+            self.quantile_est(0.99),
+        ]
+    }
+
     /// Accumulate `other` (same bucket layout) into `self`.
     pub fn merge(&mut self, other: &HistSnapshot) {
         assert_eq!(
@@ -589,6 +635,52 @@ mod tests {
         assert!((hs.mean() - 22.2).abs() < 1e-12);
         assert_eq!(hs.quantile(0.5), 4.0);
         assert_eq!(hs.quantile(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn interpolated_quantiles_stay_within_observed_range() {
+        let h = histogram("test.hist.quantile_est", Buckets::explicit(&[2.0, 4.0]));
+        crate::reset_thread_metrics();
+        for v in [1.0, 2.0, 3.0, 5.0, 100.0] {
+            h.record(v);
+        }
+        let snap = snapshot();
+        let Some(MetricValue::Histogram(hs)) = snap.get("test.hist.quantile_est") else {
+            panic!("histogram missing from snapshot");
+        };
+        let [p50, p95, p99] = hs.percentiles();
+        // Estimates are finite, ordered, and inside [min, max] — unlike
+        // quantile(), which reports inf for the overflow bucket.
+        assert!(p50 >= hs.min && p99 <= hs.max);
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p99.is_finite());
+        // p50 falls in the (2, 4] bucket, interpolated.
+        assert!(p50 > 2.0 && p50 <= 4.0, "p50 = {p50}");
+        // Degenerate cases.
+        assert_eq!(
+            HistSnapshot {
+                bounds: vec![1.0],
+                counts: vec![0, 0],
+                count: 0,
+                sum: 0.0,
+                min: 0.0,
+                max: 0.0,
+            }
+            .quantile_est(0.5),
+            0.0
+        );
+        // Single observation: every quantile is that observation.
+        let single = HistSnapshot {
+            bounds: vec![10.0],
+            counts: vec![1, 0],
+            count: 1,
+            sum: 7.0,
+            min: 7.0,
+            max: 7.0,
+        };
+        assert_eq!(single.quantile_est(0.0), 7.0);
+        assert_eq!(single.quantile_est(0.5), 7.0);
+        assert_eq!(single.quantile_est(1.0), 7.0);
     }
 
     #[test]

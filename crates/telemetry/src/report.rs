@@ -102,13 +102,15 @@ pub fn render_report(per_rank: &[MetricsSnapshot]) -> String {
     if !hists.is_empty() {
         let _ = writeln!(out, "-- histograms (merged across ranks) --");
         for (name, h) in hists {
+            let [p50, p95, p99] = h.percentiles();
             let _ = writeln!(
                 out,
-                "{name:<28} n {:>8}  mean {:>10}  p50<={:>10}  p99<={:>10}  max {:>10}",
+                "{name:<28} n {:>8}  mean {:>10}  p50 {:>10}  p95 {:>10}  p99 {:>10}  max {:>10}",
                 fmt_count(h.count),
                 fmt_f64(h.mean()),
-                fmt_bound(h.quantile(0.5)),
-                fmt_bound(h.quantile(0.99)),
+                fmt_bound(p50),
+                fmt_bound(p95),
+                fmt_bound(p99),
                 fmt_f64(h.max),
             );
         }
@@ -159,6 +161,12 @@ mod tests {
         let toks: Vec<&str> = hist_line.split_whitespace().collect();
         let n_pos = toks.iter().position(|&t| t == "n").unwrap();
         assert_eq!(toks[n_pos + 1], "6", "bad merged count: {hist_line}");
+        // Interpolated percentiles are rendered and finite.
+        for p in ["p50", "p95", "p99"] {
+            let pos = toks.iter().position(|&t| t == p).unwrap();
+            let v: f64 = toks[pos + 1].parse().expect("percentile not numeric");
+            assert!(v.is_finite() && (50.0..=600.0).contains(&v), "{p} = {v}");
+        }
         // Zero-valued metrics are omitted.
         assert!(!r.contains("zero.counter"));
     }

@@ -8,6 +8,7 @@
 //! [`flush_thread`]s finished spans into the process-wide collector on
 //! exit, so a later [`drain_spans`] sees every rank's events.
 
+use crate::flow::FlowEvent;
 use crate::span::SpanEvent;
 use std::cell::RefCell;
 use std::sync::Mutex;
@@ -18,6 +19,7 @@ pub(crate) struct ThreadSink {
     pub gauges: Vec<f64>,
     pub hists: Vec<crate::metrics::HistData>,
     pub spans: Vec<SpanEvent>,
+    pub flows: Vec<FlowEvent>,
     pub depth: u32,
 }
 
@@ -29,6 +31,7 @@ impl ThreadSink {
             gauges: Vec::new(),
             hists: Vec::new(),
             spans: Vec::new(),
+            flows: Vec::new(),
             depth: 0,
         }
     }
@@ -39,6 +42,7 @@ thread_local! {
 }
 
 static COLLECTOR: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+static FLOW_COLLECTOR: Mutex<Vec<FlowEvent>> = Mutex::new(Vec::new());
 
 /// Tag the current thread with a rank id; spans it records are attributed
 /// to this rank (`tid` in the Chrome trace). Untagged threads report
@@ -56,18 +60,28 @@ pub fn thread_rank() -> Option<usize> {
 /// stamping them with the thread's rank. Called by the cluster when a
 /// rank thread finishes; cheap (no lock) when no spans were recorded.
 pub fn flush_thread() {
-    let (rank, spans) = SINK.with(|s| {
+    let (rank, spans, flows) = SINK.with(|s| {
         let mut s = s.borrow_mut();
-        (s.rank.unwrap_or(0), std::mem::take(&mut s.spans))
+        (
+            s.rank.unwrap_or(0),
+            std::mem::take(&mut s.spans),
+            std::mem::take(&mut s.flows),
+        )
     });
-    if spans.is_empty() {
-        return;
+    if !spans.is_empty() {
+        let mut collector = COLLECTOR.lock().unwrap();
+        collector.extend(spans.into_iter().map(|mut e| {
+            e.rank = rank;
+            e
+        }));
     }
-    let mut collector = COLLECTOR.lock().unwrap();
-    collector.extend(spans.into_iter().map(|mut e| {
-        e.rank = rank;
-        e
-    }));
+    if !flows.is_empty() {
+        let mut collector = FLOW_COLLECTOR.lock().unwrap();
+        collector.extend(flows.into_iter().map(|mut e| {
+            e.rank = rank;
+            e
+        }));
+    }
 }
 
 /// Flush the current thread, then take every collected span, ordered by
@@ -81,10 +95,25 @@ pub fn drain_spans() -> Vec<SpanEvent> {
     spans
 }
 
-/// Discard all collected spans (current thread and global collector).
+/// Flush the current thread, then take every collected flow event,
+/// ordered by `(rank, ts, id)`. The flow collector is left empty.
+pub fn drain_flows() -> Vec<FlowEvent> {
+    flush_thread();
+    let mut flows = std::mem::take(&mut *FLOW_COLLECTOR.lock().unwrap());
+    flows.sort_by(|a, b| (a.rank, a.ts_us, a.id, &a.name).cmp(&(b.rank, b.ts_us, b.id, &b.name)));
+    flows
+}
+
+/// Discard all collected spans and flows (current thread and global
+/// collectors).
 pub fn clear_spans() {
-    SINK.with(|s| s.borrow_mut().spans.clear());
+    SINK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.spans.clear();
+        s.flows.clear();
+    });
     COLLECTOR.lock().unwrap().clear();
+    FLOW_COLLECTOR.lock().unwrap().clear();
 }
 
 /// Zero the current thread's metric values (counters, gauges,

@@ -16,10 +16,12 @@ use mf_autodiff::Graph;
 use mf_data::Batch;
 use mf_dist::Communicator;
 use mf_nn::SdNet;
+use mf_observe::{GradHealth, RecKind};
 use mf_opt::Optimizer;
 use mf_telemetry::{counter, gauge, histogram, span, Buckets, Counter, Gauge, Histogram};
 use mf_tensor::Tensor;
 use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 thread_local! {
     /// The per-rank training graph. It persists across steps so that the
@@ -75,6 +77,8 @@ pub(crate) struct TrainMetrics {
     pub pool_hits: Counter,
     pub pool_misses: Counter,
     pub allocs_per_step: Gauge,
+    pub grad_norm: Gauge,
+    pub nonfinite_grads: Counter,
 }
 
 /// The shared trainer metric handles.
@@ -93,6 +97,8 @@ pub(crate) fn train_metrics() -> &'static TrainMetrics {
         pool_hits: counter("pool.hits"),
         pool_misses: counter("pool.misses"),
         allocs_per_step: gauge("graph.allocs_per_step"),
+        grad_norm: gauge("health.grad_norm"),
+        nonfinite_grads: counter("health.nonfinite_grads"),
     })
 }
 
@@ -173,7 +179,29 @@ pub fn local_gradients(
         stats.pool_misses = pool_delta.misses;
         stats.heap_allocs = g.heap_allocs() - allocs_before;
 
+        // Numerical-health watchdog: one allocation-free pass over the
+        // gradients the step already produced. The gauge/counter updates
+        // are lock-free; the post-mortem dump fires at most once per
+        // process (and only when MF_OBSERVE enables bundle writing), so
+        // the warm-step allocation pin above stays intact.
+        let mut health = GradHealth::default();
+        for t in data_grads.iter().chain(&pde_grads) {
+            health.scan(t.as_slice());
+        }
+        let health = health.finish();
+
         let m = train_metrics();
+        m.grad_norm.set(health.norm);
+        if health.is_bad() {
+            m.nonfinite_grads.add(health.nan + health.inf);
+            mf_observe::record(
+                RecKind::Health,
+                "train.nonfinite_grad",
+                health.nan + health.inf,
+                health.norm,
+            );
+            dump_on_first_nonfinite(&health, &stats);
+        }
         m.data_pass_us.record(data_secs * 1e6);
         m.pde_pass_us.record(pde_secs * 1e6);
         m.graph_nodes.update(|v| v.max(stats.graph_nodes as f64));
@@ -185,6 +213,35 @@ pub fn local_gradients(
 
         (data_grads, pde_grads, stats)
     })
+}
+
+/// First non-finite gradient in the process triggers one post-mortem
+/// bundle; later incidents only bump the `health.nonfinite_grads`
+/// counter (a diverged run produces NaNs every step — one bundle is the
+/// useful artifact, a thousand are noise).
+static NONFINITE_DUMPED: AtomicBool = AtomicBool::new(false);
+
+fn dump_on_first_nonfinite(health: &GradHealth, stats: &StepStats) {
+    if NONFINITE_DUMPED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let rank = mf_telemetry::thread_rank().unwrap_or(0);
+    mf_observe::flush_rank(rank);
+    let ctx = mf_observe::step_context();
+    mf_observe::postmortem::dump(
+        &mf_observe::postmortem::DumpReason {
+            kind: "nonfinite-gradient".to_string(),
+            detail: format!(
+                "{} NaN + {} Inf gradient elements at epoch {} step {} (finite-part norm {:.3e})",
+                health.nan, health.inf, ctx.epoch, ctx.step, health.norm
+            ),
+            failing_rank: mf_telemetry::thread_rank(),
+        },
+        &format!(
+            "data_loss = {:.6e}\npde_loss = {:.6e}\ngraph_nodes = {}",
+            stats.data_loss, stats.pde_loss, stats.graph_nodes
+        ),
+    );
 }
 
 fn flatten(grads: &[Tensor]) -> Vec<f64> {

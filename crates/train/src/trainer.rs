@@ -7,6 +7,7 @@ use crate::step::GradSync;
 use mf_data::{BatchSampler, Dataset};
 use mf_dist::{Cluster, ClusterError, CommStats, FaultPlan};
 use mf_nn::SdNet;
+use mf_observe::RecKind;
 use mf_opt::{Adam, AdamW, Lamb, LrSchedule, Optimizer, OptimizerState, Sgd};
 use mf_tensor::Tensor;
 use std::time::Instant;
@@ -168,6 +169,7 @@ pub fn train_single(
     let mut logs = Vec::with_capacity(cfg.epochs);
     let mut global_step = 0usize;
     let mut train_seconds = 0.0;
+    let mut step_secs_hist: Vec<f64> = Vec::new();
     for epoch in 0..cfg.epochs {
         let t0 = Instant::now();
         let mut dl = 0.0;
@@ -176,6 +178,7 @@ pub fn train_single(
         let nb = batches.len().max(1);
         for batch in &batches {
             let lr = cfg.schedule.lr_at(global_step);
+            mf_observe::set_step_context(epoch as u64, global_step as u64);
             mf_telemetry::span!("train.step", epoch = epoch as f64);
             let m = crate::step::train_metrics();
             let _step_timer = m.step_us.time();
@@ -190,11 +193,18 @@ pub fn train_single(
                 let _t = m.opt_us.time();
                 opt.step_net(net, &grads, lr);
             }
+            mf_observe::record(
+                RecKind::Step,
+                "train.step",
+                0,
+                stats.data_loss + stats.pde_loss,
+            );
             dl += stats.data_loss;
             pl += stats.pde_loss;
             global_step += 1;
         }
-        train_seconds += t0.elapsed().as_secs_f64();
+        let epoch_secs = t0.elapsed().as_secs_f64();
+        train_seconds += epoch_secs;
         logs.push(EpochLog {
             epoch,
             data_loss: dl / nb as f64,
@@ -202,6 +212,14 @@ pub fn train_single(
             val_mse: evaluate_mse(net, val),
             seconds: train_seconds,
         });
+        if mf_observe::watch_enabled() {
+            let losses: Vec<f64> = logs.iter().map(|l| l.data_loss + l.pde_loss).collect();
+            step_secs_hist.push(epoch_secs / nb as f64);
+            eprint!(
+                "{}",
+                mf_observe::train_watch_report(epoch, &losses, &[step_secs_hist.clone()])
+            );
+        }
     }
     logs
 }
@@ -260,6 +278,9 @@ pub fn train_ddp_resumable(
     let schedule = cfg.schedule.scaled_for_devices(world);
     let results = Cluster::try_run(world, plan, |comm| {
         let rank = comm.rank();
+        // Align per-rank clocks at the run's first barrier so the merged
+        // trace rows share a time base (barrier-only: no link messages).
+        comm.align_clocks();
         let shard = train.shard(rank, world);
         let mut net = template.clone();
         let mut sampler = BatchSampler::new(
@@ -276,6 +297,7 @@ pub fn train_ddp_resumable(
         let mut resume_skip = 0usize;
         let mut dl = 0.0;
         let mut pl = 0.0;
+        let mut step_secs_per_rank: Vec<Vec<f64>> = vec![Vec::new(); world];
 
         // Resume negotiation: every rank offers its newest checkpointed
         // step (−1 when it has none); the run restarts from the newest
@@ -325,6 +347,7 @@ pub fn train_ddp_resumable(
             );
             for (bi, batch) in batches.iter().enumerate().skip(skip) {
                 let lr = schedule.lr_at(global_step);
+                mf_observe::set_step_context(epoch as u64, global_step as u64);
                 mf_telemetry::span!("train.step", epoch = epoch as f64);
                 let m = crate::step::train_metrics();
                 let _step_timer = m.step_us.time();
@@ -366,6 +389,12 @@ pub fn train_ddp_resumable(
                     let _t = m.opt_us.time();
                     opt.step_net(&mut net, &grads, lr);
                 }
+                mf_observe::record(
+                    RecKind::Step,
+                    "train.step",
+                    rank as u64,
+                    stats.data_loss + stats.pde_loss,
+                );
                 dl += stats.data_loss;
                 pl += stats.pde_loss;
                 global_step += 1;
@@ -388,7 +417,8 @@ pub fn train_ddp_resumable(
                     }
                 }
             }
-            train_seconds += t0.elapsed().as_secs_f64();
+            let epoch_secs = t0.elapsed().as_secs_f64();
+            train_seconds += epoch_secs;
             if rank == 0 {
                 let nb = batches.len().max(1) as f64;
                 logs.push(EpochLog {
@@ -398,6 +428,24 @@ pub fn train_ddp_resumable(
                     val_mse: evaluate_mse(&net, val),
                     seconds: train_seconds,
                 });
+            }
+            if mf_observe::watch_enabled() {
+                // Straggler view: gather every rank's mean step time for
+                // this epoch and render one sparkline row per rank. Watch
+                // mode is opt-in, so the extra allgather never runs under
+                // the pinned-message-count regression fixtures.
+                let mean_step = epoch_secs / batches.len().max(1) as f64;
+                let gathered = comm.allgather(&[mean_step]);
+                if rank == 0 {
+                    for (r, v) in gathered.iter().enumerate() {
+                        step_secs_per_rank[r].push(v[0]);
+                    }
+                    let losses: Vec<f64> = logs.iter().map(|l| l.data_loss + l.pde_loss).collect();
+                    eprint!(
+                        "{}",
+                        mf_observe::train_watch_report(epoch, &losses, &step_secs_per_rank)
+                    );
+                }
             }
         }
         if mf_telemetry::metrics_report_enabled() {

@@ -7,6 +7,7 @@
 //! mosaic-flow solve  --domain 2x1 [--model model.mfn | --oracle]
 //!                    [--boundary sin | gp:SEED] [--ranks P] [--coarse-init]
 //!                    [--out grid.csv]
+//!                    [--fault-seed N] [--drop-rate R] [--crash-rank K [--crash-after S]]
 //! ```
 //!
 //! `solve` prints convergence info and the MAE against a direct multigrid
@@ -20,7 +21,12 @@
 //!   merged across ranks.
 //! * `--trace PATH` — record spans and write a Chrome `trace_event` JSON
 //!   file (open in `chrome://tracing` / Perfetto); a `.jsonl` suffix
-//!   selects the JSON-Lines format instead.
+//!   selects the JSON-Lines format instead. Distributed runs include
+//!   cross-rank flow events connecting each send to its receive.
+//! * `--watch` — periodic rendered progress reports (loss curve,
+//!   step-time sparklines, residual heatmap) on stderr.
+//! * `MF_OBSERVE=dump[:DIR]|watch|off` — enable post-mortem bundles on
+//!   failure (`dump`), watch mode, or disable the flight recorder.
 
 use mosaic_flow::numerics::boundary::boundary_from_fn;
 use mosaic_flow::prelude::*;
@@ -67,10 +73,13 @@ fn usage() -> ExitCode {
          eval  --model model.mfn [--samples 20] [--seed 1]\n\
          solve --domain SXxSY [--model model.mfn | --oracle] [--boundary sin|gp:SEED]\n\
                [--ranks P] [--coarse-init] [--out grid.csv]\n\
+               [--fault-seed N] [--drop-rate R] [--crash-rank K [--crash-after S]]\n\
          \n\
          observability (any subcommand):\n\
            --metrics        print a telemetry summary to stderr at exit\n\
-           --trace PATH     write a Chrome trace_event JSON (.jsonl for JSON-Lines)"
+           --trace PATH     write a Chrome trace_event JSON (.jsonl for JSON-Lines)\n\
+           --watch          periodic rendered progress reports on stderr\n\
+           MF_OBSERVE=...   dump[:DIR] post-mortem bundles | watch | off (recorder)"
     );
     ExitCode::FAILURE
 }
@@ -210,6 +219,31 @@ fn cmd_solve(flags: &HashMap<String, String>) -> ExitCode {
     let ranks: usize = get(flags, "ranks", 1);
     let coarse_init = flags.contains_key("coarse-init");
 
+    // Fault injection: deterministic from --fault-seed. A crashed or
+    // unrecoverable run fails the command; with MF_OBSERVE=dump[:DIR]
+    // the cluster writes a post-mortem bundle on the way down.
+    let plan = {
+        let mut plan = FaultPlan::lossy(
+            get(flags, "fault-seed", 0u64),
+            get(flags, "drop-rate", 0.0f64),
+        );
+        if let Some(r) = flags.get("crash-rank") {
+            let Ok(rank) = r.parse() else {
+                eprintln!("solve: --crash-rank expects a rank index");
+                return ExitCode::FAILURE;
+            };
+            plan.crash = Some(CrashAt {
+                rank,
+                after_sends: get(flags, "crash-after", 10),
+            });
+        }
+        plan
+    };
+    if plan.is_active() && ranks == 1 {
+        eprintln!("solve: fault injection needs --ranks > 1");
+        return ExitCode::FAILURE;
+    }
+
     // Solver selection.
     enum Chosen {
         Oracle(OracleSolver),
@@ -292,34 +326,36 @@ fn cmd_solve(flags: &HashMap<String, String>) -> ExitCode {
             (r.grid, r.iterations, r.converged)
         }
         (Chosen::Oracle(s), p) => {
-            let r = run_distributed(
-                s,
-                &domain,
-                &bc,
-                p,
-                &DistMfpConfig {
-                    max_iters: 2000,
-                    tol: 1e-6,
-                    coarse_init,
-                    ..Default::default()
-                },
-            );
-            (r.grid, r.iterations, r.converged)
+            let cfg = DistMfpConfig {
+                max_iters: 2000,
+                tol: 1e-6,
+                coarse_init,
+                plan: plan.clone(),
+                ..Default::default()
+            };
+            match try_run_distributed(s, &domain, &bc, p, &cfg) {
+                Ok(r) => (r.grid, r.iterations, r.converged),
+                Err(e) => {
+                    eprintln!("solve: cluster failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
         (Chosen::Neural(s), p) => {
-            let r = run_distributed(
-                s.as_ref(),
-                &domain,
-                &bc,
-                p,
-                &DistMfpConfig {
-                    max_iters: 500,
-                    tol: 1e-5,
-                    coarse_init,
-                    ..Default::default()
-                },
-            );
-            (r.grid, r.iterations, r.converged)
+            let cfg = DistMfpConfig {
+                max_iters: 500,
+                tol: 1e-5,
+                coarse_init,
+                plan: plan.clone(),
+                ..Default::default()
+            };
+            match try_run_distributed(s.as_ref(), &domain, &bc, p, &cfg) {
+                Ok(r) => (r.grid, r.iterations, r.converged),
+                Err(e) => {
+                    eprintln!("solve: cluster failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
     };
 
@@ -375,14 +411,19 @@ fn finish_telemetry(trace_path: Option<&str>) {
     let Some(path) = trace_path else { return };
     tel::flush_thread();
     let spans = tel::drain_spans();
+    let flows = tel::drain_flows();
     let mut body = Vec::new();
     let written = if path.ends_with(".jsonl") {
         tel::write_jsonl(&spans, &mut body)
     } else {
-        tel::write_chrome_trace(&spans, &mut body)
+        tel::write_chrome_trace_with_flows(&spans, &flows, &mut body)
     };
     match written.and_then(|()| std::fs::write(path, body)) {
-        Ok(()) => eprintln!("wrote {} span(s) to {path}", spans.len()),
+        Ok(()) => eprintln!(
+            "wrote {} span(s) and {} flow event(s) to {path}",
+            spans.len(),
+            flows.len()
+        ),
         Err(e) => eprintln!("failed to write trace: {e}"),
     }
 }
@@ -390,12 +431,18 @@ fn finish_telemetry(trace_path: Option<&str>) {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (positional, flags) = parse_flags(&args);
+    // MF_OBSERVE configures post-mortem bundles / watch mode / recorder
+    // off; the flags below layer on top of it.
+    mosaic_flow::observe::init_from_env();
     let trace_path = flags.get("trace").cloned();
     if trace_path.is_some() {
         mosaic_flow::telemetry::set_tracing(true);
     }
     if flags.contains_key("metrics") {
         mosaic_flow::telemetry::set_metrics_report(true);
+    }
+    if flags.contains_key("watch") {
+        mosaic_flow::observe::set_watch(true);
     }
     let code = match positional.first().map(String::as_str) {
         Some("train") => cmd_train(&flags),
