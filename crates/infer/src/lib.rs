@@ -1,0 +1,670 @@
+#![warn(missing_docs)]
+
+//! Graph-free compiled inference for SDNet — the MFP hot path.
+//!
+//! Every Schwarz iteration of the Mosaic Flow Predictor evaluates the same
+//! network on the same query points with only the boundary values changing.
+//! The autodiff `Graph` pays taping overhead for a forward pass that needs
+//! no gradients, and recomputes the query-point half of the input-split
+//! layer (eq. 8 of the paper) on every call even though the points are
+//! fixed for the lifetime of a solve.
+//!
+//! [`InferencePlan::compile`] lowers the conv-embed → input-split → MLP
+//! pipeline into a flat list of `gemm_into`/fused-activation steps over
+//! pooled, reusable workspaces:
+//!
+//! * **No graph nodes.** The plan is a straight-line register program; the
+//!   interpreter is a `for` loop over lowered steps with no tape, no
+//!   `Var`s, and no backward metadata.
+//! * **No heap allocations on warm calls.** Every intermediate lives in a
+//!   buffer checked out of the workspace's
+//!   [`BufferPool`] and returned as soon as its
+//!   single consumer has read it; after the first (cold) execution every
+//!   acquire is a pool hit. Weights are pre-transposed at compile time so
+//!   the GEMM kernel never packs an operand internally.
+//! * **Cached invariants.** The normalized/Fourier-encoded query
+//!   coordinates and the coordinate half `W_x · X` of the input-split
+//!   layer are computed once at compile time and reused by every
+//!   execution — each call only pays the boundary-dependent half.
+//!
+//! Results are **bitwise identical** to the graph path: the plan replays
+//! the exact kernel sequence `Graph::eval` would run (the only reordering
+//! is the commutative operand swap in the split-layer add, which IEEE-754
+//! addition preserves bit-for-bit).
+//!
+//! Plans are snapshots of the network weights. [`Params`](mf_nn::Params)
+//! carries a mutation counter; [`InferencePlan::is_stale`] compares it so
+//! callers (e.g. `mf-mfp`'s `PlanSolver`, or the training loop's periodic
+//! evaluation) recompile after an optimizer step instead of serving stale
+//! weights.
+
+use mf_nn::{Activation, EmbeddingKind, SdNet};
+use mf_tensor::{gemm, gemm_into, unfold1d_circular_into, BufferPool, Layout, PoolStats, Tensor};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// GELU tanh-approximation constant √(2/π), bit-for-bit the value the
+/// autodiff graph uses.
+const GELU_SQRT_2_OVER_PI: f64 = 0.797_884_560_802_865_4;
+/// Cubic coefficient of the GELU tanh approximation.
+const GELU_C: f64 = 0.044715;
+
+#[inline]
+fn gelu_scalar(x: f64) -> f64 {
+    0.5 * x * (1.0 + (GELU_SQRT_2_OVER_PI * (x + GELU_C * x * x * x)).tanh())
+}
+
+/// One lowered instruction of a compiled plan. Registers are indices into
+/// the per-execution slot table; constants index the plan's tensor pool
+/// (pre-transposed weights, biases, cached invariants).
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    /// Copy the caller's `[B, L]` boundary batch into a register.
+    Load { dst: usize },
+    /// Circular im2col: `[B, L·ic] → [B·L, k·ic]`.
+    Unfold {
+        src: usize,
+        dst: usize,
+        channels: usize,
+        kernel: usize,
+    },
+    /// `dst = src · consts[weight]` (weight pre-transposed at compile).
+    Gemm {
+        src: usize,
+        weight: usize,
+        dst: usize,
+    },
+    /// `dst = src + broadcast(consts[bias])`.
+    AddBias { src: usize, bias: usize, dst: usize },
+    /// Pure data copy into a register of a different shape.
+    Reshape { src: usize, dst: usize },
+    /// Pointwise nonlinearity (the network's configured activation).
+    Activation { src: usize, dst: usize },
+    /// Fused input-split combine: `dst[b·q + r] = consts[cached][r] + src[b]`
+    /// — the cached `W_x · X` rows plus the per-boundary projection,
+    /// replacing the graph's `repeat_rows` + `add` pair.
+    SplitAdd {
+        src: usize,
+        cached: usize,
+        dst: usize,
+    },
+    /// Copy the final register into the caller's output buffer.
+    Store { src: usize },
+}
+
+/// Shape of a register: `rows_per_b * B` rows × `cols` columns, so one
+/// plan serves any batch size.
+#[derive(Clone, Copy, Debug)]
+struct RegShape {
+    rows_per_b: usize,
+    cols: usize,
+}
+
+/// Reusable execution scratch: a buffer pool plus warm-allocation
+/// accounting. One workspace serves one thread; executions on the same
+/// workspace after the first reuse all of its buffers.
+#[derive(Debug)]
+pub struct Workspace {
+    pool: BufferPool,
+    warmed: bool,
+    warm_allocs: u64,
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workspace {
+    /// Fresh, empty workspace.
+    pub fn new() -> Self {
+        Self {
+            pool: BufferPool::new(),
+            warmed: false,
+            warm_allocs: 0,
+        }
+    }
+
+    /// Pool misses observed on *warm* executions (anything after the first
+    /// call). Zero means the plan is running allocation-free.
+    pub fn warm_allocs(&self) -> u64 {
+        self.warm_allocs
+    }
+
+    /// Underlying buffer-pool statistics.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+}
+
+/// A forward-only compiled execution plan for one [`SdNet`] and one fixed
+/// set of query points. See the crate docs for the contract.
+#[derive(Clone, Debug)]
+pub struct InferencePlan {
+    steps: Vec<Step>,
+    regs: Vec<RegShape>,
+    consts: Vec<Tensor>,
+    activation: Activation,
+    boundary_len: usize,
+    q: usize,
+    params_version: u64,
+}
+
+impl InferencePlan {
+    /// Whether a network can be lowered: the plan implements the paper's
+    /// input-split embedding (the `Concat` baseline stays on the graph
+    /// path).
+    pub fn supports(net: &SdNet) -> bool {
+        net.config().embedding == EmbeddingKind::Split
+    }
+
+    /// Lower `net` for the fixed query points `points` (`[q, 2]` local
+    /// physical coordinates, shared by every boundary in a batch).
+    ///
+    /// Compilation pre-transposes every weight matrix, normalizes and
+    /// Fourier-encodes the coordinates, and computes the `W_x · X` half of
+    /// the input-split layer — all the work that does not depend on
+    /// boundary values. Compile-time allocation is unrestricted; the
+    /// resulting plan executes without heap allocation on a warm
+    /// [`Workspace`].
+    ///
+    /// # Panics
+    /// If the network uses the `Concat` embedding (check
+    /// [`InferencePlan::supports`] first) or `points` is not `[q, 2]`.
+    pub fn compile(net: &SdNet, points: &Tensor) -> Self {
+        let cfg = net.config();
+        assert!(
+            Self::supports(net),
+            "InferencePlan: only the input-split embedding is supported"
+        );
+        assert_eq!(points.cols(), 2, "InferencePlan: points must be [q, 2]");
+        let q = points.rows();
+        let l = cfg.boundary_len;
+
+        let mut consts: Vec<Tensor> = Vec::new();
+        let mut regs: Vec<RegShape> = Vec::new();
+        let mut steps: Vec<Step> = Vec::new();
+        let push_const = |consts: &mut Vec<Tensor>, t: Tensor| {
+            consts.push(t);
+            consts.len() - 1
+        };
+        let push_reg = |regs: &mut Vec<RegShape>, rows_per_b: usize, cols: usize| {
+            regs.push(RegShape { rows_per_b, cols });
+            regs.len() - 1
+        };
+
+        // Cached invariant #1: normalized + Fourier-encoded coordinates.
+        let base = points
+            .add_scalar(-0.5 * cfg.coord_extent)
+            .scale(2.0 / cfg.coord_extent);
+        let mut feats = base.clone();
+        for j in 0..cfg.coord_fourier {
+            let freq = std::f64::consts::PI * (1 << j) as f64;
+            let scaled = base.scale(freq);
+            let s = scaled.map(f64::sin);
+            let c = scaled.map(f64::cos);
+            feats = feats.concat_cols(&s);
+            feats = feats.concat_cols(&c);
+        }
+        // Cached invariant #2: the coordinate half of the split layer.
+        let (wg_id, wx_id, b0_id) = net.split_params();
+        let hx = gemm(
+            &feats,
+            Layout::Normal,
+            net.params.get(wx_id),
+            Layout::Transposed,
+        );
+        let hx_c = push_const(&mut consts, hx);
+
+        // Boundary load + conv embedding.
+        let mut cur = push_reg(&mut regs, 1, l);
+        steps.push(Step::Load { dst: cur });
+        let n_convs = net.convs().len();
+        for (i, conv) in net.convs().iter().enumerate() {
+            let (ic, oc, k) = (conv.in_channels(), conv.out_channels(), conv.kernel());
+            let len = regs[cur].cols / ic;
+            let u = push_reg(&mut regs, len, k * ic);
+            steps.push(Step::Unfold {
+                src: cur,
+                dst: u,
+                channels: ic,
+                kernel: k,
+            });
+            let wt = push_const(&mut consts, net.params.get(conv.weight()).transpose());
+            let y = push_reg(&mut regs, len, oc);
+            steps.push(Step::Gemm {
+                src: u,
+                weight: wt,
+                dst: y,
+            });
+            cur = y;
+            if let Some(b) = conv.bias() {
+                let bc = push_const(&mut consts, net.params.get(b).clone());
+                let yb = push_reg(&mut regs, len, oc);
+                steps.push(Step::AddBias {
+                    src: cur,
+                    bias: bc,
+                    dst: yb,
+                });
+                cur = yb;
+            }
+            let r = push_reg(&mut regs, 1, len * oc);
+            steps.push(Step::Reshape { src: cur, dst: r });
+            cur = r;
+            // Nonlinearity between conv layers only (the final embedding
+            // stays linear so the split == concat algebra holds).
+            if i + 1 < n_convs && cfg.activation != Activation::Identity {
+                let a = push_reg(&mut regs, 1, len * oc);
+                steps.push(Step::Activation { src: cur, dst: a });
+                cur = a;
+            }
+        }
+
+        // Input-split layer: per-boundary projection + cached W_x·X.
+        let d0 = cfg.hidden[0];
+        let wg_t = push_const(&mut consts, net.params.get(wg_id).transpose());
+        let hg = push_reg(&mut regs, 1, d0);
+        steps.push(Step::Gemm {
+            src: cur,
+            weight: wg_t,
+            dst: hg,
+        });
+        let h = push_reg(&mut regs, q, d0);
+        steps.push(Step::SplitAdd {
+            src: hg,
+            cached: hx_c,
+            dst: h,
+        });
+        let b0_c = push_const(&mut consts, net.params.get(b0_id).clone());
+        let hb = push_reg(&mut regs, q, d0);
+        steps.push(Step::AddBias {
+            src: h,
+            bias: b0_c,
+            dst: hb,
+        });
+        cur = hb;
+        if cfg.activation != Activation::Identity {
+            let a = push_reg(&mut regs, q, d0);
+            steps.push(Step::Activation { src: cur, dst: a });
+            cur = a;
+        }
+
+        // Dense trunk + scalar head.
+        for lin in net.trunk().iter().chain(std::iter::once(net.head())) {
+            let dn = lin.out_dim();
+            let wt = push_const(&mut consts, net.params.get(lin.weight()).transpose());
+            let y = push_reg(&mut regs, q, dn);
+            steps.push(Step::Gemm {
+                src: cur,
+                weight: wt,
+                dst: y,
+            });
+            cur = y;
+            if let Some(b) = lin.bias() {
+                let bc = push_const(&mut consts, net.params.get(b).clone());
+                let yb = push_reg(&mut regs, q, dn);
+                steps.push(Step::AddBias {
+                    src: cur,
+                    bias: bc,
+                    dst: yb,
+                });
+                cur = yb;
+            }
+            // Trunk layers are activated, the head is not.
+            if dn != 1 && cfg.activation != Activation::Identity {
+                let a = push_reg(&mut regs, q, dn);
+                steps.push(Step::Activation { src: cur, dst: a });
+                cur = a;
+            }
+        }
+        steps.push(Step::Store { src: cur });
+
+        Self {
+            steps,
+            regs,
+            consts,
+            activation: cfg.activation,
+            boundary_len: l,
+            q,
+            params_version: net.params.version(),
+        }
+    }
+
+    /// Points per boundary this plan was compiled for.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Boundary walk length this plan expects.
+    pub fn boundary_len(&self) -> usize {
+        self.boundary_len
+    }
+
+    /// Number of lowered instructions (for introspection and tests).
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The [`Params`](mf_nn::Params) mutation-counter value the plan was
+    /// compiled against.
+    pub fn params_version(&self) -> u64 {
+        self.params_version
+    }
+
+    /// True when the network's parameters have (possibly) changed since
+    /// compilation and the plan must be rebuilt before its results can be
+    /// trusted.
+    pub fn is_stale(&self, net: &SdNet) -> bool {
+        net.params.version() != self.params_version
+    }
+
+    /// The cached normalized/Fourier query-coordinate projection
+    /// `W_x · X` (`[q, d0]`).
+    pub fn cached_split(&self) -> &Tensor {
+        &self.consts[0]
+    }
+
+    /// Execute the plan on a `[B, L]` boundary batch, writing the
+    /// `[B·q, 1]` predictions into `out`. Allocation-free once `ws` is
+    /// warm.
+    ///
+    /// # Panics
+    /// On boundary/output shape mismatch.
+    pub fn execute_into(&self, ws: &mut Workspace, boundaries: &Tensor, out: &mut Tensor) {
+        let b = boundaries.rows();
+        assert_eq!(
+            boundaries.cols(),
+            self.boundary_len,
+            "InferencePlan: boundary length mismatch (expected {}, got {})",
+            self.boundary_len,
+            boundaries.cols()
+        );
+        assert_eq!(
+            out.shape(),
+            (b * self.q, 1),
+            "InferencePlan: output must be [B·q, 1]"
+        );
+        let t0 = Instant::now();
+        let miss0 = ws.pool.stats().misses;
+        let act: fn(f64) -> f64 = match self.activation {
+            Activation::Gelu => gelu_scalar,
+            Activation::Tanh => f64::tanh,
+            Activation::Identity => std::convert::identity,
+        };
+
+        let mut slots: Vec<Option<Tensor>> = vec![None; self.regs.len()];
+        for step in &self.steps {
+            match *step {
+                Step::Load { dst } => {
+                    let mut t = self.acquire_dirty(ws, dst, b);
+                    t.as_mut_slice().copy_from_slice(boundaries.as_slice());
+                    slots[dst] = Some(t);
+                }
+                Step::Unfold {
+                    src,
+                    dst,
+                    channels,
+                    kernel,
+                } => {
+                    let s = slots[src].take().expect("register consumed twice");
+                    let mut d = self.acquire_dirty(ws, dst, b);
+                    unfold1d_circular_into(&s, channels, kernel, &mut d);
+                    ws.pool.release(s);
+                    slots[dst] = Some(d);
+                }
+                Step::Gemm { src, weight, dst } => {
+                    let s = slots[src].take().expect("register consumed twice");
+                    // The GEMM kernel accumulates, so its destination is
+                    // the one register that must come back zero-filled.
+                    let mut d = self.acquire(ws, dst, b);
+                    gemm_into(
+                        &s,
+                        Layout::Normal,
+                        &self.consts[weight],
+                        Layout::Normal,
+                        &mut d,
+                    );
+                    ws.pool.release(s);
+                    slots[dst] = Some(d);
+                }
+                Step::AddBias { src, bias, dst } => {
+                    let s = slots[src].take().expect("register consumed twice");
+                    let mut d = self.acquire_dirty(ws, dst, b);
+                    s.broadcast_row_add_into(&self.consts[bias], &mut d);
+                    ws.pool.release(s);
+                    slots[dst] = Some(d);
+                }
+                Step::Reshape { src, dst } => {
+                    let s = slots[src].take().expect("register consumed twice");
+                    let mut d = self.acquire_dirty(ws, dst, b);
+                    s.copy_into(&mut d);
+                    ws.pool.release(s);
+                    slots[dst] = Some(d);
+                }
+                Step::Activation { src, dst } => {
+                    let s = slots[src].take().expect("register consumed twice");
+                    let mut d = self.acquire_dirty(ws, dst, b);
+                    s.map_into(&mut d, act);
+                    ws.pool.release(s);
+                    slots[dst] = Some(d);
+                }
+                Step::SplitAdd { src, cached, dst } => {
+                    let s = slots[src].take().expect("register consumed twice");
+                    let mut d = self.acquire_dirty(ws, dst, b);
+                    let hx = &self.consts[cached];
+                    let (q, d0) = hx.shape();
+                    let ds = d.as_mut_slice();
+                    let xs = hx.as_slice();
+                    for bi in 0..b {
+                        let g = s.row(bi);
+                        for r in 0..q {
+                            let o = &mut ds[(bi * q + r) * d0..(bi * q + r + 1) * d0];
+                            for (c, (x, gg)) in xs[r * d0..(r + 1) * d0].iter().zip(g).enumerate() {
+                                o[c] = x + gg;
+                            }
+                        }
+                    }
+                    ws.pool.release(s);
+                    slots[dst] = Some(d);
+                }
+                Step::Store { src } => {
+                    let s = slots[src].take().expect("register consumed twice");
+                    out.as_mut_slice().copy_from_slice(s.as_slice());
+                    ws.pool.release(s);
+                }
+            }
+        }
+        debug_assert!(slots.iter().all(Option::is_none), "leaked plan register");
+
+        // Registry lookups lock a process-wide mutex; resolve the handles
+        // once instead of on every launch.
+        static WARM_ALLOCS: OnceLock<mf_telemetry::Counter> = OnceLock::new();
+        static PTS_PER_S: OnceLock<mf_telemetry::Gauge> = OnceLock::new();
+        let misses = ws.pool.stats().misses - miss0;
+        if ws.warmed {
+            ws.warm_allocs += misses;
+            if misses > 0 {
+                WARM_ALLOCS
+                    .get_or_init(|| mf_telemetry::counter("infer.warm_allocs"))
+                    .add(misses);
+            }
+        } else {
+            ws.warmed = true;
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if dt > 0.0 {
+            PTS_PER_S
+                .get_or_init(|| mf_telemetry::gauge("infer.pts_per_s"))
+                .set((b * self.q) as f64 / dt);
+        }
+    }
+
+    /// Convenience wrapper around [`InferencePlan::execute_into`] that
+    /// allocates the `[B·q, 1]` output.
+    pub fn execute(&self, ws: &mut Workspace, boundaries: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(boundaries.rows() * self.q, 1);
+        self.execute_into(ws, boundaries, &mut out);
+        out
+    }
+
+    /// Zero-filled register buffer (GEMM destinations: the kernel
+    /// accumulates).
+    fn acquire(&self, ws: &mut Workspace, reg: usize, b: usize) -> Tensor {
+        let RegShape { rows_per_b, cols } = self.regs[reg];
+        ws.pool.acquire(rows_per_b * b, cols)
+    }
+
+    /// Register buffer with unspecified contents, for steps that
+    /// overwrite every element — skips the zero-fill memset.
+    fn acquire_dirty(&self, ws: &mut Workspace, reg: usize, b: usize) -> Tensor {
+        let RegShape { rows_per_b, cols } = self.regs[reg];
+        ws.pool.acquire_dirty(rows_per_b * b, cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mf_nn::SdNetConfig;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiled(points: &Tensor, b: usize) -> Tensor {
+        let mut v = Vec::with_capacity(b * points.numel());
+        for _ in 0..b {
+            v.extend_from_slice(points.as_slice());
+        }
+        Tensor::from_vec(b * points.rows(), 2, v)
+    }
+
+    fn random_case(cfg: SdNetConfig, seed: u64, b: usize, q: usize) -> (SdNet, Tensor, Tensor) {
+        let net = SdNet::new(cfg, &mut ChaCha8Rng::seed_from_u64(seed));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed + 1);
+        let l = net.config().boundary_len;
+        let bounds = Tensor::from_fn(b, l, |_, _| rng.gen_range(-1.0..1.0));
+        let extent = net.config().coord_extent;
+        let pts = Tensor::from_fn(q, 2, |_, _| rng.gen_range(0.0..extent));
+        (net, bounds, pts)
+    }
+
+    fn assert_bitwise(a: &Tensor, b: &Tensor) {
+        assert_eq!(a.shape(), b.shape());
+        for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "row {i}: plan {y} vs graph {x} differ in bits"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_graph_path_bitwise_across_architectures() {
+        let mut base = SdNetConfig::small(16);
+        base.conv_channels = vec![2];
+        base.hidden = vec![12, 12];
+        let mut fourier = base.clone();
+        fourier.coord_fourier = 4;
+        let mut no_conv = base.clone();
+        no_conv.conv_channels = vec![];
+        let mut tanh = base.clone();
+        tanh.activation = Activation::Tanh;
+        let mut identity = base.clone();
+        identity.activation = Activation::Identity;
+        let mut deep = base.clone();
+        deep.conv_channels = vec![3, 2];
+        deep.hidden = vec![10, 8, 6];
+        let mut single = base.clone();
+        single.hidden = vec![9];
+
+        for (i, cfg) in [base, fourier, no_conv, tanh, identity, deep, single]
+            .into_iter()
+            .enumerate()
+        {
+            let (net, bounds, pts) = random_case(cfg, 100 + i as u64, 3, 7);
+            let plan = InferencePlan::compile(&net, &pts);
+            let mut ws = Workspace::new();
+            let got = plan.execute(&mut ws, &bounds);
+            let want = net.predict(&bounds, &tiled(&pts, 3), 7);
+            assert_bitwise(&want, &got);
+        }
+    }
+
+    #[test]
+    fn warm_calls_hit_the_pool_only() {
+        let mut cfg = SdNetConfig::small(16);
+        cfg.conv_channels = vec![2];
+        cfg.hidden = vec![12, 12];
+        cfg.coord_fourier = 4;
+        let (net, bounds, pts) = random_case(cfg, 7, 4, 9);
+        let plan = InferencePlan::compile(&net, &pts);
+        let mut ws = Workspace::new();
+        let mut out = Tensor::zeros(4 * 9, 1);
+        plan.execute_into(&mut ws, &bounds, &mut out); // cold
+        for _ in 0..10 {
+            plan.execute_into(&mut ws, &bounds, &mut out);
+        }
+        assert_eq!(ws.warm_allocs(), 0, "warm executions must not allocate");
+        assert!(ws.pool_stats().hits > 0);
+    }
+
+    #[test]
+    fn one_plan_serves_multiple_batch_sizes() {
+        let mut cfg = SdNetConfig::small(12);
+        cfg.conv_channels = vec![2];
+        cfg.hidden = vec![8, 8];
+        let (net, _, pts) = random_case(cfg, 11, 1, 5);
+        let plan = InferencePlan::compile(&net, &pts);
+        let mut ws = Workspace::new();
+        for b in [1usize, 3, 8] {
+            let mut rng = ChaCha8Rng::seed_from_u64(b as u64);
+            let bounds = Tensor::from_fn(b, 12, |_, _| rng.gen_range(-1.0..1.0));
+            let got = plan.execute(&mut ws, &bounds);
+            let want = net.predict(&bounds, &tiled(&pts, b), 5);
+            assert_bitwise(&want, &got);
+        }
+    }
+
+    #[test]
+    fn staleness_tracks_parameter_mutations() {
+        let mut cfg = SdNetConfig::small(12);
+        cfg.conv_channels = vec![2];
+        cfg.hidden = vec![8];
+        let (mut net, bounds, pts) = random_case(cfg, 3, 2, 4);
+        let plan = InferencePlan::compile(&net, &pts);
+        assert!(!plan.is_stale(&net));
+        // Mutate a weight the way an optimizer step would.
+        for t in net.params.tensors_mut() {
+            t.as_mut_slice().iter_mut().for_each(|v| *v *= 0.5);
+        }
+        assert!(plan.is_stale(&net));
+        // A recompiled plan agrees with the new weights.
+        let plan2 = InferencePlan::compile(&net, &pts);
+        assert!(!plan2.is_stale(&net));
+        let mut ws = Workspace::new();
+        let got = plan2.execute(&mut ws, &bounds);
+        let want = net.predict(&bounds, &tiled(&pts, 2), 4);
+        assert_bitwise(&want, &got);
+    }
+
+    #[test]
+    fn rejects_concat_embedding() {
+        let mut cfg = SdNetConfig::small(12);
+        cfg.embedding = EmbeddingKind::Concat;
+        let net = SdNet::new(cfg, &mut ChaCha8Rng::seed_from_u64(0));
+        assert!(!InferencePlan::supports(&net));
+    }
+
+    #[test]
+    #[should_panic(expected = "boundary length mismatch")]
+    fn rejects_wrong_boundary_width() {
+        let mut cfg = SdNetConfig::small(12);
+        cfg.conv_channels = vec![2];
+        cfg.hidden = vec![8];
+        let (net, _, pts) = random_case(cfg, 5, 2, 4);
+        let plan = InferencePlan::compile(&net, &pts);
+        let mut ws = Workspace::new();
+        let _ = plan.execute(&mut ws, &Tensor::zeros(2, 10));
+    }
+}

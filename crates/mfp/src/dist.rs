@@ -746,6 +746,37 @@ mod tests {
     }
 
     #[test]
+    fn compiled_plan_solver_matches_graph_solver_across_ranks() {
+        // The distributed MFP must be oblivious to which SDNet execution
+        // path backs the subdomain solver: the compiled-plan and graph
+        // paths produce bitwise-identical lattices on every rank count.
+        use rand::SeedableRng;
+        let d = DomainSpec::new(spec(), 2, 2);
+        let mut cfg = mf_nn::SdNetConfig::small(spec().boundary_len());
+        cfg.conv_channels = vec![2];
+        cfg.hidden = vec![10, 10];
+        cfg.coord_fourier = 2;
+        let net = mf_nn::SdNet::new(cfg, &mut rand_chacha::ChaCha8Rng::seed_from_u64(7));
+        let plan = crate::PlanSolver::new(net.clone(), spec());
+        let graph = crate::NeuralSolver::new(net, spec());
+        let bc = harmonic_bc(&d);
+        let cfg = DistMfpConfig {
+            max_iters: 3,
+            tol: 0.0,
+            ..Default::default()
+        };
+        for ranks in [1, 4] {
+            let a = run_distributed(&plan, &d, &bc, ranks, &cfg);
+            let e = run_distributed(&graph, &d, &bc, ranks, &cfg);
+            assert_eq!(a.grid.shape(), e.grid.shape());
+            for (x, y) in e.grid.as_slice().iter().zip(a.grid.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "P={ranks}");
+            }
+        }
+        assert!(plan.cache_hits() > 0);
+    }
+
+    #[test]
     fn four_ranks_converge_to_the_sequential_solution() {
         let d = DomainSpec::new(spec(), 2, 2);
         let oracle = OracleSolver::new(spec(), 1e-10);

@@ -32,6 +32,7 @@ mod dist;
 mod domain;
 #[cfg(test)]
 mod lattice_proptests;
+mod plan;
 mod seq;
 mod solver;
 
@@ -40,5 +41,6 @@ pub use dist::{
     DistMfpConfig, DistMfpResult, RankReport,
 };
 pub use domain::{DomainSpec, Subdomain};
+pub use plan::PlanSolver;
 pub use seq::{MaeTarget, Mfp, MfpConfig, MfpResult};
 pub use solver::{NeuralSolver, OracleSolver, SubdomainSolver};

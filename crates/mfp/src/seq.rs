@@ -6,6 +6,7 @@ use crate::solver::SubdomainSolver;
 use mf_numerics::boundary::apply_boundary;
 use mf_telemetry::{histogram, span, Buckets};
 use mf_tensor::Tensor;
+use rayon::prelude::*;
 
 /// Early-stop criterion based on a reference solution (used by the
 /// strong-scaling experiments, which iterate until MAE ≤ 0.05).
@@ -241,14 +242,24 @@ impl<'a, S: SubdomainSolver> Mfp<'a, S> {
                 }
             }
         } else {
-            for &sd in group {
-                let boundary = self.domain.read_window_boundary(grid, sd);
-                let fw = window_forcings(&[sd]);
-                let preds =
+            // Same-color subdomains never overlap, so their solves are
+            // independent: fan the per-subdomain launches out with rayon
+            // and write the crosses back (to disjoint lattice cells)
+            // afterwards.
+            let gridr: &Tensor = grid;
+            let preds: Vec<Tensor> = group
+                .to_vec()
+                .into_par_iter()
+                .map(|sd| {
+                    let boundary = self.domain.read_window_boundary(gridr, sd);
+                    let fw = window_forcings(&[sd]);
                     self.solver
-                        .solve_batch_shifted(sigma, &boundary, fw.as_ref(), cross_pts);
+                        .solve_batch_shifted(sigma, &boundary, fw.as_ref(), cross_pts)
+                })
+                .collect();
+            for (&sd, p) in group.iter().zip(&preds) {
                 for (k, &(j, i)) in cross.iter().enumerate() {
-                    grid.set(sd.oy + j, sd.ox + i, preds.get(k, 0));
+                    grid.set(sd.oy + j, sd.ox + i, p.get(k, 0));
                 }
             }
         }
@@ -401,6 +412,108 @@ mod tests {
             "batched vs unbatched diverge: {}",
             rb.grid.max_abs_diff(&ru.grid)
         );
+    }
+
+    /// A small Fourier-feature SDNet for the compiled-vs-graph equality
+    /// tests.
+    fn equality_net(seed: u64) -> mf_nn::SdNet {
+        use rand::SeedableRng;
+        let mut cfg = mf_nn::SdNetConfig::small(spec().boundary_len());
+        cfg.conv_channels = vec![2];
+        cfg.hidden = vec![10, 10];
+        cfg.coord_fourier = 2;
+        mf_nn::SdNet::new(cfg, &mut rand_chacha::ChaCha8Rng::seed_from_u64(seed))
+    }
+
+    fn assert_grids_bitwise(a: &Tensor, b: &Tensor, what: &str) {
+        assert_eq!(a.shape(), b.shape());
+        for (k, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: cell {k} differs ({x} vs {y})"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_batched_and_unbatched_mfp_runs_are_bitwise_identical() {
+        // The compiled-plan solver, the batched graph path, and the
+        // unbatched graph path must agree *bit for bit* through a full
+        // MFP run (sweeps + dense fill exercise two distinct plans).
+        let d = DomainSpec::new(spec(), 2, 1);
+        let net = equality_net(42);
+        let (bc, _) = harmonic_bc(&d);
+        let cfg_b = MfpConfig {
+            max_iters: 3,
+            tol: 0.0,
+            batched: true,
+            target: None,
+            coarse_init: false,
+        };
+        let cfg_u = MfpConfig {
+            batched: false,
+            ..cfg_b.clone()
+        };
+
+        let plan = crate::PlanSolver::new(net.clone(), spec());
+        let graph = crate::NeuralSolver::new(net, spec());
+        let rp = Mfp::new(&plan, d).run(&bc, &cfg_b);
+        let rb = Mfp::new(&graph, d).run(&bc, &cfg_b);
+        let ru = Mfp::new(&graph, d).run(&bc, &cfg_u);
+        assert_grids_bitwise(&rb.grid, &rp.grid, "plan vs batched graph");
+        assert_grids_bitwise(&rb.grid, &ru.grid, "batched vs unbatched graph");
+        // Sweeps reuse the cross-point plan after the first compile; the
+        // dense fill compiles a second plan for the interior points.
+        assert!(plan.cache_hits() > 0);
+    }
+
+    mod plan_equality_proptests {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::{Rng, SeedableRng};
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            /// The compiled plan, the batched graph path, and the
+            /// per-boundary graph path must be bitwise-identical for any
+            /// weights, boundaries, and query points.
+            #[test]
+            fn plan_and_graph_paths_agree_bitwise(
+                net_seed in 0u64..1_000_000,
+                data_seed in 0u64..1_000_000,
+                b in 1usize..5,
+                q in 1usize..9,
+            ) {
+                let spec = spec();
+                let net = equality_net(net_seed);
+                let plan = crate::PlanSolver::new(net.clone(), spec);
+                let graph = crate::NeuralSolver::new(net, spec);
+                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(data_seed);
+                let bnd = Tensor::from_fn(b, spec.boundary_len(), |_, _| {
+                    rng.gen_range(-1.0..1.0)
+                });
+                let pts = Tensor::from_fn(q, 2, |_, _| rng.gen_range(0.0..0.5));
+
+                let compiled = plan.solve_batch(&bnd, &pts);
+                let batched = graph.solve_batch(&bnd, &pts);
+                for (x, y) in batched.as_slice().iter().zip(compiled.as_slice()) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+                // Unbatched graph path: one boundary per launch.
+                for bi in 0..b {
+                    let row = Tensor::from_fn(1, spec.boundary_len(), |_, c| bnd.get(bi, c));
+                    let single = graph.solve_batch(&row, &pts);
+                    for k in 0..q {
+                        prop_assert_eq!(
+                            single.get(k, 0).to_bits(),
+                            batched.get(bi * q + k, 0).to_bits()
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -5,6 +5,25 @@ use mf_nn::SdNet;
 use mf_numerics::boundary::grid_with_boundary;
 use mf_numerics::{solve_dirichlet, Poisson};
 use mf_tensor::Tensor;
+use rayon::prelude::*;
+
+/// Map grid-aligned query points to `(row, col)` grid indices on an
+/// `m×m` subdomain with spacing `h`. Panics when a point is farther than
+/// 1e-9 from a lattice site — the oracle can only sample what the grid
+/// solver computed.
+fn grid_aligned_indices(points: &Tensor, h: f64) -> Vec<(usize, usize)> {
+    (0..points.rows())
+        .map(|k| {
+            let i = (points.get(k, 0) / h).round();
+            let j = (points.get(k, 1) / h).round();
+            assert!(
+                (points.get(k, 0) - i * h).abs() < 1e-9 && (points.get(k, 1) - j * h).abs() < 1e-9,
+                "OracleSolver: query point {k} is not grid-aligned"
+            );
+            (j as usize, i as usize)
+        })
+        .collect()
+}
 
 /// Anything that can solve a batch of small Dirichlet problems at a fixed
 /// set of query points.
@@ -141,30 +160,24 @@ impl SubdomainSolver for OracleSolver {
         let b = boundaries.rows();
         let q = points.rows();
         // Query points must be grid-aligned for the oracle.
-        let idx: Vec<(usize, usize)> = (0..q)
-            .map(|k| {
-                let i = (points.get(k, 0) / h).round();
-                let j = (points.get(k, 1) / h).round();
-                assert!(
-                    (points.get(k, 0) - i * h).abs() < 1e-9
-                        && (points.get(k, 1) - j * h).abs() < 1e-9,
-                    "OracleSolver: query point {k} is not grid-aligned"
-                );
-                (j as usize, i as usize)
-            })
-            .collect();
+        let idx = grid_aligned_indices(points, h);
 
         let mut out = Tensor::zeros(b * q, 1);
         let problem = Poisson::laplace(m, m, h);
-        for bi in 0..b {
-            let bc = Tensor::from_vec(1, boundaries.cols(), boundaries.row(bi).to_vec());
-            let guess = grid_with_boundary(m, m, &bc);
-            let (sol, stats) = solve_dirichlet(&problem, &guess, self.tol);
-            debug_assert!(stats.converged, "oracle subdomain solve failed: {stats:?}");
-            for (k, &(j, i)) in idx.iter().enumerate() {
-                out.set(bi * q + k, 0, sol.get(j, i));
-            }
-        }
+        // Each boundary owns a disjoint q-row block of the output, so the
+        // multigrid solves run in parallel.
+        out.as_mut_slice()
+            .par_chunks_mut(q)
+            .enumerate()
+            .for_each(|(bi, chunk)| {
+                let bc = Tensor::from_vec(1, boundaries.cols(), boundaries.row(bi).to_vec());
+                let guess = grid_with_boundary(m, m, &bc);
+                let (sol, stats) = solve_dirichlet(&problem, &guess, self.tol);
+                debug_assert!(stats.converged, "oracle subdomain solve failed: {stats:?}");
+                for (k, &(j, i)) in idx.iter().enumerate() {
+                    chunk[k] = sol.get(j, i);
+                }
+            });
         self.count
             .fetch_add(b * q, std::sync::atomic::Ordering::Relaxed);
         self.launches
@@ -195,33 +208,26 @@ impl SubdomainSolver for OracleSolver {
         let h = self.spec.h();
         let b = boundaries.rows();
         let q = points.rows();
-        let idx: Vec<(usize, usize)> = (0..q)
-            .map(|k| {
-                let i = (points.get(k, 0) / h).round();
-                let j = (points.get(k, 1) / h).round();
-                assert!(
-                    (points.get(k, 0) - i * h).abs() < 1e-9
-                        && (points.get(k, 1) - j * h).abs() < 1e-9,
-                    "OracleSolver: query point {k} is not grid-aligned"
-                );
-                (j as usize, i as usize)
-            })
-            .collect();
+        let idx = grid_aligned_indices(points, h);
         let mut out = Tensor::zeros(b * q, 1);
-        for bi in 0..b {
-            let bc = Tensor::from_vec(1, boundaries.cols(), boundaries.row(bi).to_vec());
-            let guess = grid_with_boundary(m, m, &bc);
-            let f = match forcings {
-                Some(fr) => Tensor::from_vec(m, m, fr.row(bi).to_vec()),
-                None => Tensor::zeros(m, m),
-            };
-            let problem = Poisson { f, h };
-            let (sol, stats) = solve_shifted_sor(&problem, sigma, &guess, 1.5, 50_000, self.tol);
-            debug_assert!(stats.converged, "oracle shifted solve failed: {stats:?}");
-            for (k, &(j, i)) in idx.iter().enumerate() {
-                out.set(bi * q + k, 0, sol.get(j, i));
-            }
-        }
+        out.as_mut_slice()
+            .par_chunks_mut(q)
+            .enumerate()
+            .for_each(|(bi, chunk)| {
+                let bc = Tensor::from_vec(1, boundaries.cols(), boundaries.row(bi).to_vec());
+                let guess = grid_with_boundary(m, m, &bc);
+                let f = match forcings {
+                    Some(fr) => Tensor::from_vec(m, m, fr.row(bi).to_vec()),
+                    None => Tensor::zeros(m, m),
+                };
+                let problem = Poisson { f, h };
+                let (sol, stats) =
+                    solve_shifted_sor(&problem, sigma, &guess, 1.5, 50_000, self.tol);
+                debug_assert!(stats.converged, "oracle shifted solve failed: {stats:?}");
+                for (k, &(j, i)) in idx.iter().enumerate() {
+                    chunk[k] = sol.get(j, i);
+                }
+            });
         self.count
             .fetch_add(b * q, std::sync::atomic::Ordering::Relaxed);
         self.launches

@@ -78,6 +78,11 @@ impl CircularConv1d {
         self.w
     }
 
+    /// Bias parameter id, if the layer has one.
+    pub fn bias(&self) -> Option<ParamId> {
+        self.b
+    }
+
     /// Forward pass: `x` is `[B, L·in_ch]`, result `[B, L·out_ch]`.
     pub fn forward(&self, g: &mut Graph, bound: &Bound, x: Var) -> Var {
         let (batch, width) = g.value(x).shape();

@@ -184,6 +184,28 @@ impl SdNet {
         self.params.numel()
     }
 
+    /// The convolutional boundary-embedding layers, in application order.
+    pub fn convs(&self) -> &[CircularConv1d] {
+        &self.convs
+    }
+
+    /// The dense trunk layers after the split layer, in application order.
+    pub fn trunk(&self) -> &[Linear] {
+        &self.trunk
+    }
+
+    /// The scalar output head.
+    pub fn head(&self) -> &Linear {
+        &self.head
+    }
+
+    /// Parameter ids of the input-split layer: `(W_g, W_x, b)` — the
+    /// boundary-embedding projection, the coordinate projection, and the
+    /// shared bias (eq. 8 of the paper).
+    pub fn split_params(&self) -> (ParamId, ParamId, ParamId) {
+        (self.w_g, self.w_x, self.b0)
+    }
+
     /// Run the convolutional boundary embedding: `[B, L] → [B, L·C]`.
     pub fn embed_boundary(&self, g: &mut Graph, bound: &Bound, gb: Var) -> Var {
         assert_eq!(
@@ -275,15 +297,29 @@ impl SdNet {
         self.head.forward(g, bound, h)
     }
 
-    /// Inference convenience: build a throwaway graph and return the
-    /// predictions as a tensor. `points` is `[B·q, 2]`.
+    /// Inference convenience: run a forward pass on a reusable per-thread
+    /// graph and return the predictions as a tensor. `points` is `[B·q, 2]`.
+    ///
+    /// The graph is cleared (not dropped) between calls, so repeated
+    /// predictions recycle tape storage through the graph's buffer pool
+    /// instead of re-allocating it — the same idiom `mf-train::step` uses
+    /// for the training hot path. For the graph-free fast path see
+    /// `mf-infer`'s `InferencePlan`; this is the fallback that any network
+    /// configuration can take.
     pub fn predict(&self, boundaries: &Tensor, points: &Tensor, q: usize) -> Tensor {
-        let mut g = Graph::new();
-        let bound = self.params.bind(&mut g);
-        let gb = g.constant_from(boundaries);
-        let x = g.constant_from(points);
-        let out = self.forward(&mut g, &bound, gb, x, q);
-        g.value(out).clone()
+        thread_local! {
+            static PREDICT_GRAPH: std::cell::RefCell<Graph> =
+                std::cell::RefCell::new(Graph::new());
+        }
+        PREDICT_GRAPH.with(|cell| {
+            let mut g = cell.borrow_mut();
+            g.clear();
+            let bound = self.params.bind(&mut g);
+            let gb = g.constant_from(boundaries);
+            let x = g.constant_from(points);
+            let out = self.forward(&mut g, &bound, gb, x, q);
+            g.value(out).clone()
+        })
     }
 }
 

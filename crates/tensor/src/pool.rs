@@ -81,6 +81,16 @@ impl BufferPool {
 
     /// A zero-filled `rows×cols` tensor, recycled when possible.
     pub fn acquire(&mut self, rows: usize, cols: usize) -> Tensor {
+        let mut t = self.acquire_dirty(rows, cols);
+        t.as_mut_slice().fill(0.0);
+        t
+    }
+
+    /// A `rows×cols` tensor with **unspecified contents** (stale data from
+    /// a previous user when recycled), recycled when possible. For
+    /// destinations that overwrite every element; accumulating kernels
+    /// (`gemm_into`) need the zero-filled [`BufferPool::acquire`].
+    pub fn acquire_dirty(&mut self, rows: usize, cols: usize) -> Tensor {
         let n = (rows * cols).max(1);
         let k = class_for_request(n);
         let mut buf = match self.classes.get_mut(k).and_then(Vec::pop) {
@@ -97,7 +107,9 @@ impl BufferPool {
                 Vec::with_capacity(cap)
             }
         };
-        buf.clear();
+        // Adjust the length without wiping what's already there: elements
+        // below the old length keep their stale values, any grown region
+        // is zero-extended — never uninitialized memory.
         buf.resize(rows * cols, 0.0);
         Tensor::from_vec(rows, cols, buf)
     }

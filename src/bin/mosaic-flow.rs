@@ -6,13 +6,15 @@
 //! mosaic-flow eval   --model model.mfn --samples 20
 //! mosaic-flow solve  --domain 2x1 [--model model.mfn | --oracle]
 //!                    [--boundary sin | gp:SEED] [--ranks P] [--coarse-init]
-//!                    [--out grid.csv]
+//!                    [--no-plan] [--out grid.csv]
 //!                    [--fault-seed N] [--drop-rate R] [--crash-rank K [--crash-after S]]
 //! ```
 //!
 //! `solve` prints convergence info and the MAE against a direct multigrid
 //! reference; `--out` writes the dense solution grid as CSV (row 0 =
-//! bottom edge).
+//! bottom edge). Models run on the compiled inference plan (`mf-infer`,
+//! bitwise-identical to the graph path); `--no-plan` forces the
+//! graph-based solver.
 //!
 //! Observability flags (any subcommand):
 //!
@@ -72,7 +74,7 @@ fn usage() -> ExitCode {
          info  --model model.mfn\n\
          eval  --model model.mfn [--samples 20] [--seed 1]\n\
          solve --domain SXxSY [--model model.mfn | --oracle] [--boundary sin|gp:SEED]\n\
-               [--ranks P] [--coarse-init] [--out grid.csv]\n\
+               [--ranks P] [--coarse-init] [--no-plan] [--out grid.csv]\n\
                [--fault-seed N] [--drop-rate R] [--crash-rank K [--crash-after S]]\n\
          \n\
          observability (any subcommand):\n\
@@ -244,10 +246,13 @@ fn cmd_solve(flags: &HashMap<String, String>) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    // Solver selection.
+    // Solver selection. Models run on the compiled inference plan
+    // (graph-free, bitwise-identical to the graph path) unless the
+    // network cannot be lowered or --no-plan asks for the graph solver.
     enum Chosen {
         Oracle(OracleSolver),
         Neural(Box<NeuralSolver>),
+        Plan(Box<PlanSolver>),
     }
     let (spec, chosen) = if let Some(path) = flags.get("model") {
         let net = match SdNet::load(path) {
@@ -262,7 +267,12 @@ fn cmd_solve(flags: &HashMap<String, String>) -> ExitCode {
             m,
             spatial: net.config().coord_extent,
         };
-        (spec, Chosen::Neural(Box::new(NeuralSolver::new(net, spec))))
+        let use_plan = !flags.contains_key("no-plan") && InferencePlan::supports(&net);
+        if use_plan {
+            (spec, Chosen::Plan(Box::new(PlanSolver::new(net, spec))))
+        } else {
+            (spec, Chosen::Neural(Box::new(NeuralSolver::new(net, spec))))
+        }
     } else {
         let m: usize = get(flags, "m", 9);
         let spec = SubdomainSpec { m, spatial: 0.5 };
@@ -300,62 +310,67 @@ fn cmd_solve(flags: &HashMap<String, String>) -> ExitCode {
         sol
     };
 
-    let (grid, iterations, converged) = match (&chosen, ranks) {
-        (Chosen::Oracle(s), 1) => {
+    // One driver for any solver; oracle runs get tighter tolerances,
+    // passed as a `(max_iters, tol)` pair.
+    fn run_solver<S: SubdomainSolver>(
+        s: &S,
+        domain: DomainSpec,
+        bc: &Tensor,
+        ranks: usize,
+        coarse_init: bool,
+        plan: &FaultPlan,
+        (max_iters, tol): (usize, f64),
+    ) -> Result<(Tensor, usize, bool), ClusterError> {
+        if ranks == 1 {
             let r = Mfp::new(s, domain).run(
-                &bc,
+                bc,
                 &MfpConfig {
-                    max_iters: 2000,
-                    tol: 1e-6,
+                    max_iters,
+                    tol,
                     coarse_init,
                     ..Default::default()
                 },
             );
-            (r.grid, r.iterations, r.converged)
-        }
-        (Chosen::Neural(s), 1) => {
-            let r = Mfp::new(s.as_ref(), domain).run(
-                &bc,
-                &MfpConfig {
-                    max_iters: 500,
-                    tol: 1e-5,
-                    coarse_init,
-                    ..Default::default()
-                },
-            );
-            (r.grid, r.iterations, r.converged)
-        }
-        (Chosen::Oracle(s), p) => {
+            Ok((r.grid, r.iterations, r.converged))
+        } else {
             let cfg = DistMfpConfig {
-                max_iters: 2000,
-                tol: 1e-6,
+                max_iters,
+                tol,
                 coarse_init,
                 plan: plan.clone(),
                 ..Default::default()
             };
-            match try_run_distributed(s, &domain, &bc, p, &cfg) {
-                Ok(r) => (r.grid, r.iterations, r.converged),
-                Err(e) => {
-                    eprintln!("solve: cluster failed: {e}");
-                    return ExitCode::FAILURE;
-                }
-            }
+            try_run_distributed(s, &domain, bc, ranks, &cfg)
+                .map(|r| (r.grid, r.iterations, r.converged))
         }
-        (Chosen::Neural(s), p) => {
-            let cfg = DistMfpConfig {
-                max_iters: 500,
-                tol: 1e-5,
-                coarse_init,
-                plan: plan.clone(),
-                ..Default::default()
-            };
-            match try_run_distributed(s.as_ref(), &domain, &bc, p, &cfg) {
-                Ok(r) => (r.grid, r.iterations, r.converged),
-                Err(e) => {
-                    eprintln!("solve: cluster failed: {e}");
-                    return ExitCode::FAILURE;
-                }
-            }
+    }
+
+    let ran = match &chosen {
+        Chosen::Oracle(s) => run_solver(s, domain, &bc, ranks, coarse_init, &plan, (2000, 1e-6)),
+        Chosen::Neural(s) => run_solver(
+            s.as_ref(),
+            domain,
+            &bc,
+            ranks,
+            coarse_init,
+            &plan,
+            (500, 1e-5),
+        ),
+        Chosen::Plan(s) => run_solver(
+            s.as_ref(),
+            domain,
+            &bc,
+            ranks,
+            coarse_init,
+            &plan,
+            (500, 1e-5),
+        ),
+    };
+    let (grid, iterations, converged) = match ran {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("solve: cluster failed: {e}");
+            return ExitCode::FAILURE;
         }
     };
 

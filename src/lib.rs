@@ -30,6 +30,7 @@ pub use mf_autodiff as autodiff;
 pub use mf_data as data;
 pub use mf_dist as dist;
 pub use mf_gp as gp;
+pub use mf_infer as infer;
 pub use mf_mfp as mfp;
 pub use mf_nn as nn;
 pub use mf_numerics as numerics;
@@ -48,9 +49,10 @@ pub mod prelude {
         PerfModel, RankOrder, RetryPolicy,
     };
     pub use mf_gp::{BoundarySampler, Kernel1d, Sobol};
+    pub use mf_infer::{InferencePlan, Workspace};
     pub use mf_mfp::{
         run_distributed, try_run_distributed, DistMfpConfig, DomainSpec, Mfp, MfpConfig,
-        NeuralSolver, OracleSolver, SubdomainSolver,
+        NeuralSolver, OracleSolver, PlanSolver, SubdomainSolver,
     };
     pub use mf_nn::{Activation, EmbeddingKind, SdNet, SdNetConfig};
     pub use mf_opt::{Adam, AdamW, Lamb, LrSchedule, Optimizer, Sgd};
