@@ -49,15 +49,36 @@ pub fn emit_metrics(metrics: &[(String, gate::Metric)]) {
 /// * `--metrics` — print the merged telemetry report to stderr at exit.
 /// * `--watch` — periodic rendered reports (loss curve, step-time
 ///   sparklines, residual heatmap) to stderr while running.
+/// * `--metrics-addr HOST:PORT` (or `MF_METRICS_ADDR`) — serve live
+///   metrics over HTTP for the lifetime of the process: `GET /metrics`
+///   (OpenMetrics text) and `GET /snapshot` (per-rank JSON).
+/// * `--profile off` (or `MF_PROFILE=off`) — disable the continuous
+///   profiler's zone timers (on by default).
 /// * `MF_OBSERVE` — see [`mf_observe::init_from_env`] (post-mortem
 ///   bundles, watch mode, recorder off).
 pub fn init_telemetry() -> Option<String> {
     mf_observe::init_from_env();
+    mf_profile::init_from_env();
+    if std::env::args()
+        .skip_while(|a| a != "--profile")
+        .nth(1)
+        .is_some_and(|v| v == "off")
+    {
+        mf_profile::set_enabled(false);
+    }
     if std::env::args().any(|a| a == "--metrics") {
         mf_telemetry::set_metrics_report(true);
     }
     if std::env::args().any(|a| a == "--watch") {
         mf_observe::set_watch(true);
+    }
+    let addr = std::env::args()
+        .skip_while(|a| a != "--metrics-addr")
+        .nth(1);
+    if let Some(server) = mf_profile::MetricsServer::from_flag_or_env(addr.as_deref()) {
+        // Repro binaries exit when done; keep the exposition thread up
+        // until then so late scrapes still see the final numbers.
+        server.run_forever();
     }
     let path = std::env::args().skip_while(|a| a != "--trace").nth(1);
     if path.is_some() {

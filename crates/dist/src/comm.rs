@@ -705,9 +705,13 @@ impl Communicator {
             bytes as f64,
         );
         self.counters.exchange_bytes.record(bytes as f64);
-        for (dst, payload) in outgoing {
-            self.send(*dst, tag, payload);
+        {
+            mf_profile::zone!("halo_send");
+            for (dst, payload) in outgoing {
+                self.send(*dst, tag, payload);
+            }
         }
+        mf_profile::zone!("halo_recv");
         outgoing
             .iter()
             .map(|(peer, _)| (*peer, self.recv(*peer, tag)))
@@ -741,9 +745,13 @@ impl Communicator {
             bytes as f64,
         );
         self.counters.exchange_bytes.record(bytes as f64);
-        for (dst, payload) in outgoing {
-            self.send(*dst, tag, payload);
+        {
+            mf_profile::zone!("halo_send");
+            for (dst, payload) in outgoing {
+                self.send(*dst, tag, payload);
+            }
         }
+        mf_profile::zone!("halo_recv");
         let t0 = Instant::now();
         let deadline = t0 + timeout;
         let results: Vec<(usize, Result<Vec<f64>, CommError>)> = outgoing
@@ -781,6 +789,7 @@ impl Communicator {
             self.size as u64,
             buf.len() as f64,
         );
+        mf_profile::zone!("allreduce");
         let t0 = Instant::now();
         if self.size > 1 {
             if buf.is_empty() {
@@ -904,6 +913,7 @@ impl Communicator {
             return;
         }
         span!("comm.allreduce", bytes = (buf.len() * 8) as f64);
+        mf_profile::zone!("allreduce");
         let gathered = self.allgather(buf);
         for (i, slot) in buf.iter_mut().enumerate() {
             let mut acc = 0.0;

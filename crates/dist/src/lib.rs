@@ -29,6 +29,7 @@ mod comm;
 mod fault;
 #[cfg(test)]
 mod fault_tests;
+mod overlap;
 mod perfmodel;
 #[cfg(test)]
 mod stress_tests;
@@ -37,6 +38,7 @@ mod topology;
 
 pub use comm::{Cluster, CommStats, Communicator, ALLREDUCE_RD_MAX_ELEMS};
 pub use fault::{ClusterError, CommError, CrashAt, FaultPlan, RetryPolicy};
+pub use overlap::{OverlapSample, OverlapTracker};
 pub use perfmodel::{thread_cpu_time, GpuModel, PerfModel};
-pub use telemetry::{gather_rank_metrics, print_merged_report};
+pub use telemetry::{gather_rank_metrics, merge_rank_metrics, print_merged_report};
 pub use topology::{CartesianGrid, Direction, RankOrder};

@@ -51,6 +51,21 @@ pub fn gather_rank_metrics(comm: &mut Communicator) -> Vec<MetricsSnapshot> {
         .collect()
 }
 
+/// Gather every rank's metrics and fold them into one snapshot:
+/// counters add, gauges take the per-rank maximum, and histograms sum
+/// **per-bucket counts** (not a concatenation of per-rank snapshots), so
+/// quantile estimates over the merged histogram match the pooled
+/// observation set. Identical on every rank; collective — call on all
+/// ranks.
+pub fn merge_rank_metrics(comm: &mut Communicator) -> MetricsSnapshot {
+    let per_rank = gather_rank_metrics(comm);
+    let mut merged = MetricsSnapshot::default();
+    for snap in &per_rank {
+        merged.merge(snap);
+    }
+    merged
+}
+
 /// Gather all ranks' metrics and print the merged report to stderr on
 /// rank 0. Call at the end of a distributed region, on every rank.
 pub fn print_merged_report(comm: &mut Communicator) {
@@ -63,6 +78,86 @@ pub fn print_merged_report(comm: &mut Communicator) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Cluster;
+    use mf_telemetry::{histogram, Buckets, MetricValue};
+
+    #[test]
+    fn merged_histograms_pool_per_bucket_counts_across_ranks() {
+        // Each rank records a disjoint slice of one observation set; the
+        // merged histogram must behave as if a single rank had observed
+        // the whole pool: summed bucket counts, pooled count/sum/min/max,
+        // and quantile estimates that land in the pooled quantile's
+        // bucket (rather than anything a concatenation of per-rank
+        // snapshots would produce).
+        const P: usize = 4;
+        let per_rank_obs: [&[f64]; P] = [
+            &[1.0, 2.0, 3.0],
+            &[10.0, 20.0, 900.0],
+            &[40.0, 55.0],
+            &[0.5, 7.0, 70.0, 800.0],
+        ];
+        let mut pooled: Vec<f64> = per_rank_obs
+            .iter()
+            .flat_map(|o| o.iter().copied())
+            .collect();
+        pooled.sort_by(f64::total_cmp);
+        let buckets = Buckets::exponential(1.0, 4.0, 6);
+        let bounds = buckets.bounds().to_vec();
+
+        let merged = Cluster::run(P, move |comm| {
+            // Rank threads are fresh, so thread-local values start at 0.
+            let h = histogram("test.dist.merge_hist", Buckets::exponential(1.0, 4.0, 6));
+            for &v in per_rank_obs[comm.rank()] {
+                h.record(v);
+            }
+            merge_rank_metrics(comm)
+        })
+        .pop()
+        .unwrap();
+
+        let Some(MetricValue::Histogram(h)) = merged.get("test.dist.merge_hist") else {
+            panic!("merged histogram missing");
+        };
+        assert_eq!(h.count, pooled.len() as u64);
+        assert_eq!(h.sum, pooled.iter().sum::<f64>());
+        assert_eq!((h.min, h.max), (0.5, 900.0));
+        // Bucket counts equal a direct pooled histogram.
+        let mut expect = vec![0u64; bounds.len() + 1];
+        for &v in &pooled {
+            expect[buckets.bucket_index(v)] += 1;
+        }
+        assert_eq!(h.counts, expect);
+        // quantile_est agrees with the pooled observations: the estimate
+        // falls within the bucket that contains the exact sample
+        // quantile.
+        for q in [0.5, 0.95, 0.99] {
+            let exact =
+                pooled[((q * pooled.len() as f64).ceil() as usize - 1).min(pooled.len() - 1)];
+            let est = h.quantile_est(q);
+            let b = buckets.bucket_index(exact);
+            let lo = if b == 0 {
+                h.min
+            } else {
+                bounds[b - 1].max(h.min)
+            };
+            let hi = bounds.get(b).copied().unwrap_or(h.max).min(h.max);
+            assert!(
+                est >= lo && est <= hi,
+                "q{q}: est {est} outside bucket [{lo}, {hi}] containing exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_identical_on_every_rank() {
+        let snaps = Cluster::run(3, |comm| {
+            mf_telemetry::counter("test.dist.merge_counter").add((comm.rank() + 1) as u64);
+            merge_rank_metrics(comm)
+        });
+        assert_eq!(snaps[0].counter("test.dist.merge_counter"), 6);
+        assert_eq!(snaps[0], snaps[1]);
+        assert_eq!(snaps[1], snaps[2]);
+    }
 
     #[test]
     fn bytes_round_trip_through_f64_packing() {

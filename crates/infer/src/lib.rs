@@ -385,6 +385,8 @@ impl InferencePlan {
             (b * self.q, 1),
             "InferencePlan: output must be [B·q, 1]"
         );
+        // Whole-launch attribution; per-kernel zones below nest inside.
+        mf_profile::zone!("plan_launch");
         let t0 = Instant::now();
         let miss0 = ws.pool.stats().misses;
         let act: fn(f64) -> f64 = match self.activation {
@@ -407,6 +409,7 @@ impl InferencePlan {
                     channels,
                     kernel,
                 } => {
+                    mf_profile::zone!("unfold");
                     let s = slots[src].take().expect("register consumed twice");
                     let mut d = self.acquire_dirty(ws, dst, b);
                     unfold1d_circular_into(&s, channels, kernel, &mut d);
@@ -414,6 +417,7 @@ impl InferencePlan {
                     slots[dst] = Some(d);
                 }
                 Step::Gemm { src, weight, dst } => {
+                    mf_profile::zone!("gemm");
                     let s = slots[src].take().expect("register consumed twice");
                     // The GEMM kernel accumulates, so its destination is
                     // the one register that must come back zero-filled.
@@ -443,6 +447,7 @@ impl InferencePlan {
                     slots[dst] = Some(d);
                 }
                 Step::Activation { src, dst } => {
+                    mf_profile::zone!("activation");
                     let s = slots[src].take().expect("register consumed twice");
                     let mut d = self.acquire_dirty(ws, dst, b);
                     s.map_into(&mut d, act);
@@ -450,6 +455,7 @@ impl InferencePlan {
                     slots[dst] = Some(d);
                 }
                 Step::SplitAdd { src, cached, dst } => {
+                    mf_profile::zone!("split_add");
                     let s = slots[src].take().expect("register consumed twice");
                     let mut d = self.acquire_dirty(ws, dst, b);
                     let hx = &self.consts[cached];

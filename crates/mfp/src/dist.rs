@@ -16,7 +16,7 @@ use crate::solver::SubdomainSolver;
 use mf_dist::thread_cpu_time;
 use mf_dist::{
     CartesianGrid, Cluster, ClusterError, CommError, CommStats, Communicator, Direction, FaultPlan,
-    RankOrder,
+    OverlapTracker, PerfModel, RankOrder,
 };
 use mf_numerics::boundary::apply_boundary;
 use mf_observe::{RecKind, StallDetector};
@@ -175,6 +175,19 @@ fn watch_residual_report(
                 stale_in_window,
             )
         );
+        // Live throughput from the published time-series ring: every rank
+        // publishes its `dist.iterations` windows after each MFP iteration,
+        // so the merged ring shows cluster-wide iteration rate.
+        if let Some(s) = mf_telemetry::published_series("dist.iterations") {
+            eprint!(
+                "{}",
+                mf_observe::series_rate_line(
+                    "dist.iterations",
+                    s.rate_per_sec(10),
+                    &s.recent_counts(30)
+                )
+            );
+        }
     }
 }
 
@@ -453,6 +466,13 @@ pub fn try_run_distributed_shifted<S: SubdomainSolver>(
         let stall_stale_counter = counter("mfp.stall_stale_halos");
         let mut stale_at_window = 0usize;
 
+        // Comm/compute overlap accounting (§4.3): measured busy/wait
+        // intervals folded through the alpha-beta model into the
+        // dist.overlap_ratio / dist.comm_wait_us / dist.compute_us
+        // metrics, once per iteration. Reads counters only — never sends.
+        let mut overlap = OverlapTracker::new(PerfModel::a30_cluster(), comm);
+        let mut busy_mark = 0.0;
+
         for it in 0..cfg.max_iters {
             mf_observe::set_step_context(0, it as u64);
             span!(
@@ -471,29 +491,33 @@ pub fn try_run_distributed_shifted<S: SubdomainSolver>(
             // Local sweeps with immediate updates (within-rank semantics
             // of the baseline are preserved).
             let t0 = thread_cpu_time();
-            for group in &groups {
-                if group.is_empty() {
-                    continue;
-                }
-                let boundaries = Tensor::vstack(
-                    &group
-                        .iter()
-                        .map(|&sd| domain.read_window_boundary(&u, sd))
-                        .collect::<Vec<_>>(),
-                );
-                let fw = forcing.map(|f| {
-                    Tensor::vstack(
+            {
+                mf_profile::zone!("sweep");
+                for group in &groups {
+                    if group.is_empty() {
+                        continue;
+                    }
+                    let boundaries = Tensor::vstack(
                         &group
                             .iter()
-                            .map(|&sd| domain.read_window_field(f, sd))
+                            .map(|&sd| domain.read_window_boundary(&u, sd))
                             .collect::<Vec<_>>(),
-                    )
-                });
-                let preds = solver.solve_batch_shifted(sigma, &boundaries, fw.as_ref(), &cross_pts);
-                let q = cross.len();
-                for (bi, &sd) in group.iter().enumerate() {
-                    for (k, &(j, i)) in cross.iter().enumerate() {
-                        u.set(sd.oy + j, sd.ox + i, preds.get(bi * q + k, 0));
+                    );
+                    let fw = forcing.map(|f| {
+                        Tensor::vstack(
+                            &group
+                                .iter()
+                                .map(|&sd| domain.read_window_field(f, sd))
+                                .collect::<Vec<_>>(),
+                        )
+                    });
+                    let preds =
+                        solver.solve_batch_shifted(sigma, &boundaries, fw.as_ref(), &cross_pts);
+                    let q = cross.len();
+                    for (bi, &sd) in group.iter().enumerate() {
+                        for (k, &(j, i)) in cross.iter().enumerate() {
+                            u.set(sd.oy + j, sd.ox + i, preds.get(bi * q + k, 0));
+                        }
                     }
                 }
             }
@@ -504,10 +528,13 @@ pub fn try_run_distributed_shifted<S: SubdomainSolver>(
             // (or every `comm_every` iterations).
             if iterations % cfg.comm_every == 0 {
                 let t1 = thread_cpu_time();
-                let outgoing: Vec<(usize, Vec<f64>)> = neighbors
-                    .iter()
-                    .map(|&(dir, nbr)| (nbr, part.pack(&u, &part.band(rank, dir))))
-                    .collect();
+                let outgoing: Vec<(usize, Vec<f64>)> = {
+                    mf_profile::zone!("halo_pack");
+                    neighbors
+                        .iter()
+                        .map(|&(dir, nbr)| (nbr, part.pack(&u, &part.band(rank, dir))))
+                        .collect()
+                };
                 pack_seconds += thread_cpu_time() - t1;
                 h_halo.record(outgoing.iter().map(|(_, p)| p.len() * 8).sum::<usize>() as f64);
                 if cfg.degraded_halos {
@@ -603,6 +630,21 @@ pub fn try_run_distributed_shifted<S: SubdomainSolver>(
                     }
                 }
             }
+
+            // Close this iteration's busy/wait interval and make the
+            // rank's metrics visible to live scrapes.
+            let busy = compute_seconds + pack_seconds;
+            overlap.observe_iteration(comm, busy - busy_mark);
+            busy_mark = busy;
+            mf_telemetry::publish_thread();
+        }
+
+        // A convergence break skips the in-loop accounting; flush the
+        // final iteration's interval so its comm wait is not dropped.
+        let busy = compute_seconds + pack_seconds;
+        if busy > busy_mark {
+            overlap.observe_iteration(comm, busy - busy_mark);
+            mf_telemetry::publish_thread();
         }
 
         let halo_stats = comm.stats();

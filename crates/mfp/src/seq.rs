@@ -141,18 +141,24 @@ impl<'a, S: SubdomainSolver> Mfp<'a, S> {
         for it in 0..cfg.max_iters {
             span!("mfp.iteration", it = it as f64);
             let prev = grid.clone();
-            for group in &groups {
-                self.sweep_group(
-                    &mut grid,
-                    group,
-                    &cross,
-                    &cross_pts,
-                    cfg.batched,
-                    sigma,
-                    forcing,
-                );
+            {
+                mf_profile::zone!("sweep");
+                for group in &groups {
+                    self.sweep_group(
+                        &mut grid,
+                        group,
+                        &cross,
+                        &cross_pts,
+                        cfg.batched,
+                        sigma,
+                        forcing,
+                    );
+                }
             }
             iterations = it + 1;
+            // Make this thread's metrics visible to live scrapes once
+            // per iteration (a warm publish does not allocate).
+            mf_telemetry::publish_thread();
 
             let delta = {
                 let num = d.lattice_diff_sumsq(&grid, &prev);

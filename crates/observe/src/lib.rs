@@ -42,7 +42,9 @@ pub use recorder::{
     clear as clear_recorder, drain_all, flush_rank, record, recording_enabled, set_recording,
     RankRecord, RecEvent, RecKind, RING_CAPACITY,
 };
-pub use render::{ascii_heatmap, mfp_watch_report, sparkline, train_watch_report};
+pub use render::{
+    ascii_heatmap, mfp_watch_report, series_rate_line, sparkline, train_watch_report,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

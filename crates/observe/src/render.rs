@@ -61,6 +61,20 @@ pub fn ascii_heatmap(values: &[f64], rows: usize, cols: usize) -> String {
     out
 }
 
+/// One status line for a live metric series ring: the recent event rate
+/// plus a sparkline of per-window event counts (most recent window on
+/// the right). Empty `window_counts` yields an empty string so callers
+/// can print the result unconditionally.
+pub fn series_rate_line(name: &str, rate_per_s: f64, window_counts: &[f64]) -> String {
+    if window_counts.is_empty() {
+        return String::new();
+    }
+    format!(
+        "{name:<16} {rate_per_s:>8.1}/s {}\n",
+        sparkline(window_counts)
+    )
+}
+
 /// The periodic training watch report: loss curve plus one step-time
 /// sparkline per rank.
 ///
@@ -172,5 +186,15 @@ mod tests {
         let quiet = mfp_watch_report(5, &[1.0], &[], 0, 0, false, 0);
         assert!(!quiet.contains("STALL"));
         assert!(!quiet.contains("lattice"));
+    }
+
+    #[test]
+    fn series_rate_line_formats_rate_and_sparkline() {
+        let l = series_rate_line("dist.iterations", 42.5, &[0.0, 1.0, 3.0]);
+        assert!(l.contains("dist.iterations"));
+        assert!(l.contains("42.5/s"));
+        assert!(l.ends_with('\n'));
+        assert_eq!(l.chars().filter(|c| SPARK_LEVELS.contains(c)).count(), 3);
+        assert_eq!(series_rate_line("x", 1.0, &[]), "");
     }
 }

@@ -1,0 +1,223 @@
+//! Dependency-free metrics exposition over `std::net::TcpListener`.
+//!
+//! One acceptor thread, blocking per-connection handling (scrapes are
+//! rare and tiny), non-blocking accept so shutdown is prompt. Routes:
+//!
+//! - `GET /metrics` — OpenMetrics text; every published rank registry
+//!   merged (counters/buckets sum, gauges max) plus `<name>_rate`
+//!   gauges derived from the time-series rings.
+//! - `GET /snapshot` — JSON: per-rank metrics, the merged view, and the
+//!   raw series windows.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to a running exposition server; dropping it stops the
+/// acceptor thread and releases the port.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (`HOST:PORT`; port 0 picks a free port) and start
+    /// serving scrapes on a background thread.
+    pub fn start(addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("mf-metrics".into())
+            .spawn(move || serve_loop(listener, stop2))?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// Start from the `--metrics-addr` flag value or the
+    /// `MF_METRICS_ADDR` environment variable, whichever is set (flag
+    /// wins). Bind failures are reported on stderr rather than aborting
+    /// the run: losing the solve over a busy scrape port is a bad trade.
+    pub fn from_flag_or_env(flag: Option<&str>) -> Option<MetricsServer> {
+        let addr = match flag {
+            Some(a) => a.to_string(),
+            None => std::env::var("MF_METRICS_ADDR").ok()?,
+        };
+        match MetricsServer::start(&addr) {
+            Ok(s) => {
+                eprintln!("serving metrics on http://{}/metrics", s.addr());
+                Some(s)
+            }
+            Err(e) => {
+                eprintln!("warning: could not bind metrics server on {addr}: {e}");
+                None
+            }
+        }
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Keep the server running until process exit: detach the acceptor
+    /// thread instead of stopping it on drop.
+    pub fn run_forever(mut self) {
+        self.handle.take();
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_loop(listener: TcpListener, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => handle_conn(stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn handle_conn(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_nodelay(true);
+    // Read until the end of the request head (we ignore any body).
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_ascii_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, ctype, body) = route(method, path);
+    let resp = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(resp.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".into(),
+        );
+    }
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "application/openmetrics-text; version=1.0.0; charset=utf-8",
+            mf_telemetry::render_openmetrics(
+                &mf_telemetry::merged_snapshot(),
+                &mf_telemetry::merged_series(),
+            ),
+        ),
+        "/snapshot" => (
+            "200 OK",
+            "application/json; charset=utf-8",
+            mf_telemetry::render_snapshot_json(
+                &mf_telemetry::per_rank_snapshots(),
+                &mf_telemetry::merged_snapshot(),
+                &mf_telemetry::merged_series(),
+            ),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "see /metrics or /snapshot\n".into(),
+        ),
+    }
+}
+
+/// Issue one HTTP GET against `addr` and return `(status_line, body)`.
+/// Test/bench helper so scrape round-trips can be exercised without an
+/// external HTTP client.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(String, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_nodelay(true)?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: mf\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut resp = String::new();
+    stream.read_to_string(&mut resp)?;
+    let status = resp.lines().next().unwrap_or("").to_string();
+    let body = match resp.split_once("\r\n\r\n") {
+        Some((_, b)) => b.to_string(),
+        None => String::new(),
+    };
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_metrics_snapshot_and_404() {
+        // Put something observable in this thread's registry and publish
+        // it so the scrape (a different thread) can see it.
+        mf_telemetry::counter("profile.server.test_counter").add(3);
+        crate::zone!("server_test");
+        mf_telemetry::publish_thread();
+
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+
+        let (status, body) = http_get(addr, "/metrics").unwrap();
+        assert!(status.contains("200"), "status: {status}");
+        assert!(body.ends_with("# EOF\n"));
+        assert!(body.contains("profile_server_test_counter_total 3"));
+        assert!(body.contains("# TYPE prof_server_test_us histogram"));
+
+        let (status, body) = http_get(addr, "/snapshot").unwrap();
+        assert!(status.contains("200"), "status: {status}");
+        let doc = mf_telemetry::JsonValue::parse(&body).expect("valid JSON");
+        assert!(doc.get("merged").is_some());
+        assert!(doc.get("ranks").and_then(|v| v.as_arr()).is_some());
+
+        let (status, _) = http_get(addr, "/nope").unwrap();
+        assert!(status.contains("404"), "status: {status}");
+
+        drop(server);
+        // Port is released: a new server can bind the same address.
+        let again = MetricsServer::start(&addr.to_string());
+        assert!(again.is_ok(), "rebind after drop failed: {:?}", again.err());
+    }
+}

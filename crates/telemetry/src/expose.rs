@@ -1,0 +1,291 @@
+//! Exposition encodings for scrapers: Prometheus/OpenMetrics text and a
+//! JSON snapshot document.
+//!
+//! These are pure formatters over [`MetricsSnapshot`] /
+//! [`SeriesSnapshot`]; the TCP server that actually answers
+//! `GET /metrics` lives in `mf-profile` so this crate stays free of any
+//! I/O concerns.
+
+use crate::metrics::{HistSnapshot, MetricValue, MetricsSnapshot};
+use crate::series::SeriesSnapshot;
+use std::fmt::Write;
+
+/// Rewrite a dotted metric name (`infer.pts_per_s`) into the Prometheus
+/// name charset (`infer_pts_per_s`): `[a-zA-Z0-9_:]`, non-conforming
+/// bytes become `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_histogram(out: &mut String, name: &str, h: &HistSnapshot) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cum = 0u64;
+    for (i, &c) in h.counts.iter().enumerate() {
+        cum += c;
+        let le = match h.bounds.get(i) {
+            Some(b) => fmt_value(*b),
+            None => "+Inf".to_string(),
+        };
+        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+    }
+    let _ = writeln!(out, "{name}_sum {}", fmt_value(h.sum));
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+/// Render a snapshot (plus optional series rings) in the OpenMetrics
+/// text format: `# TYPE` metadata, counters with a `_total` sample,
+/// histograms as cumulative `_bucket{le=…}` samples ending in `+Inf`,
+/// and a terminating `# EOF`. Series appear as `<name>_rate` gauges
+/// (events/s over the most recent windows).
+pub fn render_openmetrics(snap: &MetricsSnapshot, series: &[SeriesSnapshot]) -> String {
+    let mut out = String::new();
+    for (name, val) in &snap.metrics {
+        let name = sanitize_metric_name(name);
+        match val {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name}_total {v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {}", fmt_value(*v));
+            }
+            MetricValue::Histogram(h) => write_histogram(&mut out, &name, h),
+        }
+    }
+    for s in series {
+        if s.windows.is_empty() {
+            continue;
+        }
+        let name = format!("{}_rate", sanitize_metric_name(&s.name));
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", fmt_value(s.rate_per_sec(10)));
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn write_metrics_json(out: &mut String, snap: &MetricsSnapshot) {
+    out.push('{');
+    for (i, (name, val)) in snap.metrics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":", crate::json::escape(name));
+        match val {
+            MetricValue::Counter(v) => {
+                let _ = write!(out, "{v}");
+            }
+            MetricValue::Gauge(v) => out.push_str(&json_num(*v)),
+            MetricValue::Histogram(h) => {
+                let [p50, p95, p99] = h.percentiles();
+                let _ = write!(
+                    out,
+                    "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                    h.count,
+                    json_num(h.sum),
+                    json_num(h.min),
+                    json_num(h.max),
+                    json_num(p50),
+                    json_num(p95),
+                    json_num(p99)
+                );
+            }
+        }
+    }
+    out.push('}');
+}
+
+/// Render the full scrape state as a JSON document:
+/// `{"ranks": [{"rank": 0|"main", "metrics": {…}}, …],
+///   "merged": {…}, "series": [{"name", "rate_per_s", "windows"}, …]}`.
+/// Histograms appear as `{count, sum, min, max, p50, p95, p99}` objects;
+/// series windows as `[id, count, sum, max]` rows.
+pub fn render_snapshot_json(
+    per_rank: &[(Option<usize>, MetricsSnapshot)],
+    merged: &MetricsSnapshot,
+    series: &[SeriesSnapshot],
+) -> String {
+    let mut out = String::from("{\"ranks\":[");
+    for (i, (rank, snap)) in per_rank.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match rank {
+            Some(r) => {
+                let _ = write!(out, "{{\"rank\":{r},\"metrics\":");
+            }
+            None => out.push_str("{\"rank\":\"main\",\"metrics\":"),
+        }
+        write_metrics_json(&mut out, snap);
+        out.push('}');
+    }
+    out.push_str("],\"merged\":");
+    write_metrics_json(&mut out, merged);
+    out.push_str(",\"series\":[");
+    let mut first = true;
+    for s in series {
+        if s.windows.is_empty() {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"rate_per_s\":{},\"windows\":[",
+            crate::json::escape(&s.name),
+            json_num(s.rate_per_sec(10))
+        );
+        for (i, w) in s.windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "[{},{},{},{}]",
+                w.id,
+                w.count,
+                json_num(w.sum),
+                json_num(w.max)
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::SeriesWindow;
+    use crate::JsonValue;
+
+    fn demo_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            metrics: vec![
+                ("comm.msgs_sent".into(), MetricValue::Counter(12)),
+                ("infer.pts_per_s".into(), MetricValue::Gauge(4096.5)),
+                (
+                    "prof.gemm_us".into(),
+                    MetricValue::Histogram(HistSnapshot {
+                        bounds: vec![1.0, 4.0],
+                        counts: vec![2, 1, 1],
+                        count: 4,
+                        sum: 17.0,
+                        min: 0.5,
+                        max: 9.0,
+                    }),
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn openmetrics_output_is_well_formed() {
+        let text = render_openmetrics(&demo_snapshot(), &[]);
+        assert!(text.ends_with("# EOF\n"));
+        assert!(text.contains("# TYPE comm_msgs_sent counter\ncomm_msgs_sent_total 12\n"));
+        assert!(text.contains("# TYPE infer_pts_per_s gauge\ninfer_pts_per_s 4096.5\n"));
+        // Histogram buckets are cumulative and end with +Inf == _count.
+        assert!(text.contains("prof_gemm_us_bucket{le=\"1\"} 2"));
+        assert!(text.contains("prof_gemm_us_bucket{le=\"4\"} 3"));
+        assert!(text.contains("prof_gemm_us_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("prof_gemm_us_sum 17"));
+        assert!(text.contains("prof_gemm_us_count 4"));
+        // Every non-comment line is `name{labels} value` with a sane name.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, rest) = line.split_once(' ').expect("sample has a value");
+            let bare = name.split('{').next().unwrap();
+            assert!(
+                bare.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name {bare:?}"
+            );
+            assert!(!rest.is_empty());
+        }
+    }
+
+    #[test]
+    fn series_render_as_rate_gauges() {
+        let series = vec![SeriesSnapshot {
+            name: "mfp.iterations".into(),
+            windows: vec![SeriesWindow {
+                id: 3,
+                count: 5,
+                sum: 5.0,
+                max: 1.0,
+            }],
+        }];
+        let text = render_openmetrics(&MetricsSnapshot::default(), &series);
+        assert!(text.contains("# TYPE mfp_iterations_rate gauge\nmfp_iterations_rate 50\n"));
+    }
+
+    #[test]
+    fn json_snapshot_parses_and_holds_values() {
+        let snap = demo_snapshot();
+        let per_rank = vec![(None, snap.clone()), (Some(1), snap.clone())];
+        let series = vec![SeriesSnapshot {
+            name: "train.steps".into(),
+            windows: vec![SeriesWindow {
+                id: 7,
+                count: 2,
+                sum: 2.0,
+                max: 1.0,
+            }],
+        }];
+        let text = render_snapshot_json(&per_rank, &snap, &series);
+        let doc = JsonValue::parse(&text).expect("valid JSON");
+        let ranks = doc.get("ranks").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(ranks.len(), 2);
+        assert_eq!(ranks[0].get("rank").and_then(|v| v.as_str()), Some("main"));
+        assert_eq!(ranks[1].get("rank").and_then(|v| v.as_f64()), Some(1.0));
+        let merged = doc.get("merged").unwrap();
+        assert_eq!(
+            merged.get("comm.msgs_sent").and_then(|v| v.as_f64()),
+            Some(12.0)
+        );
+        let hist = merged.get("prof.gemm_us").unwrap();
+        assert_eq!(hist.get("count").and_then(|v| v.as_f64()), Some(4.0));
+        let series_out = doc.get("series").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(
+            series_out[0].get("name").and_then(|v| v.as_str()),
+            Some("train.steps")
+        );
+    }
+}

@@ -38,10 +38,13 @@
 //! ```
 
 mod export;
+mod expose;
 mod flow;
 mod json;
 mod metrics;
+mod publish;
 mod report;
+mod series;
 mod sink;
 mod span;
 
@@ -49,13 +52,20 @@ pub use export::{
     parse_chrome_trace, parse_chrome_trace_full, parse_jsonl, write_chrome_trace,
     write_chrome_trace_with_flows, write_jsonl,
 };
+pub use expose::{render_openmetrics, render_snapshot_json, sanitize_metric_name};
 pub use flow::{record_flow, FlowEvent, FlowPhase};
 pub use json::JsonValue;
 pub use metrics::{
     counter, gauge, histogram, snapshot, Buckets, Counter, Gauge, HistSnapshot, Histogram,
     MetricValue, MetricsSnapshot,
 };
+pub use publish::{
+    merged_series, merged_snapshot, per_rank_snapshots, publish_thread, published_series,
+};
 pub use report::render_report;
+pub use series::{
+    series, series_snapshot, Series, SeriesSnapshot, SeriesWindow, SERIES_WINDOWS, SERIES_WINDOW_US,
+};
 pub use sink::{
     clear_spans, drain_flows, drain_spans, flush_thread, reset_thread_metrics, set_thread_rank,
     thread_rank,

@@ -7,21 +7,47 @@
 //! [`snapshot`] captures for per-rank reporting and cross-rank merging.
 
 use crate::sink::SINK;
-use std::sync::{Arc, Mutex};
+use std::collections::HashMap;
+use std::sync::{Arc, LazyLock, Mutex};
 use std::time::Instant;
 
+/// Process-wide name → slot registry. Ordered vectors drive snapshot
+/// iteration; the hash maps make registration O(1) instead of a linear
+/// scan under the mutex (registration happens on hot paths that have not
+/// hoisted their handles into a `OnceLock` yet).
 #[derive(Default)]
-struct Registry {
-    counters: Vec<&'static str>,
-    gauges: Vec<&'static str>,
-    hists: Vec<(&'static str, Arc<[f64]>)>,
+pub(crate) struct Registry {
+    pub(crate) counters: Vec<&'static str>,
+    pub(crate) gauges: Vec<&'static str>,
+    pub(crate) hists: Vec<(&'static str, Arc<[f64]>)>,
+    pub(crate) series: Vec<&'static str>,
+    counter_idx: HashMap<&'static str, usize>,
+    gauge_idx: HashMap<&'static str, usize>,
+    hist_idx: HashMap<&'static str, usize>,
+    series_idx: HashMap<&'static str, usize>,
 }
 
-static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
-    counters: Vec::new(),
-    gauges: Vec::new(),
-    hists: Vec::new(),
-});
+pub(crate) static REGISTRY: LazyLock<Mutex<Registry>> =
+    LazyLock::new(|| Mutex::new(Registry::default()));
+
+/// Register (or look up) the series named `name`, returning its slot.
+pub(crate) fn series_slot(name: &'static str) -> usize {
+    let mut r = REGISTRY.lock().unwrap();
+    match r.series_idx.get(name) {
+        Some(&i) => i,
+        None => {
+            let i = r.series.len();
+            r.series.push(name);
+            r.series_idx.insert(name, i);
+            i
+        }
+    }
+}
+
+/// Names of all registered series, in slot order.
+pub(crate) fn series_names() -> Vec<&'static str> {
+    REGISTRY.lock().unwrap().series.clone()
+}
 
 /// Handle to a named monotonically increasing counter.
 #[derive(Clone, Copy, Debug)]
@@ -47,11 +73,13 @@ pub struct Histogram {
 /// the handle was created.
 pub fn counter(name: &'static str) -> Counter {
     let mut r = REGISTRY.lock().unwrap();
-    let slot = match r.counters.iter().position(|&n| n == name) {
-        Some(i) => i,
+    let slot = match r.counter_idx.get(name) {
+        Some(&i) => i,
         None => {
+            let i = r.counters.len();
             r.counters.push(name);
-            r.counters.len() - 1
+            r.counter_idx.insert(name, i);
+            i
         }
     };
     Counter { slot }
@@ -60,11 +88,13 @@ pub fn counter(name: &'static str) -> Counter {
 /// Get (registering on first use) the gauge named `name`.
 pub fn gauge(name: &'static str) -> Gauge {
     let mut r = REGISTRY.lock().unwrap();
-    let slot = match r.gauges.iter().position(|&n| n == name) {
-        Some(i) => i,
+    let slot = match r.gauge_idx.get(name) {
+        Some(&i) => i,
         None => {
+            let i = r.gauges.len();
             r.gauges.push(name);
-            r.gauges.len() - 1
+            r.gauge_idx.insert(name, i);
+            i
         }
     };
     Gauge { slot }
@@ -75,18 +105,17 @@ pub fn gauge(name: &'static str) -> Gauge {
 /// `buckets` reuse the original layout.
 pub fn histogram(name: &'static str, buckets: Buckets) -> Histogram {
     let mut r = REGISTRY.lock().unwrap();
-    match r.hists.iter().position(|(n, _)| *n == name) {
-        Some(i) => Histogram {
+    match r.hist_idx.get(name) {
+        Some(&i) => Histogram {
             slot: i,
             bounds: Arc::clone(&r.hists[i].1),
         },
         None => {
+            let i = r.hists.len();
             let bounds: Arc<[f64]> = buckets.bounds.into();
             r.hists.push((name, Arc::clone(&bounds)));
-            Histogram {
-                slot: r.hists.len() - 1,
-                bounds,
-            }
+            r.hist_idx.insert(name, i);
+            Histogram { slot: i, bounds }
         }
     }
 }
@@ -424,38 +453,49 @@ pub struct MetricsSnapshot {
 
 /// Capture the current thread's value of every registered metric.
 pub fn snapshot() -> MetricsSnapshot {
-    let r = REGISTRY.lock().unwrap();
-    let mut metrics: Vec<(String, MetricValue)> = Vec::new();
     SINK.with(|s| {
         let s = s.borrow();
-        for (i, name) in r.counters.iter().enumerate() {
-            let v = s.counters.get(i).copied().unwrap_or(0);
-            metrics.push((name.to_string(), MetricValue::Counter(v)));
-        }
-        for (i, name) in r.gauges.iter().enumerate() {
-            let v = s.gauges.get(i).copied().unwrap_or(0.0);
-            metrics.push((name.to_string(), MetricValue::Gauge(v)));
-        }
-        for (i, (name, bounds)) in r.hists.iter().enumerate() {
-            let h = s.hists.get(i).cloned().unwrap_or_default();
-            let counts = if h.counts.is_empty() {
-                vec![0; bounds.len() + 1]
-            } else {
-                h.counts
-            };
-            metrics.push((
-                name.to_string(),
-                MetricValue::Histogram(HistSnapshot {
-                    bounds: bounds.to_vec(),
-                    counts,
-                    count: h.count,
-                    sum: h.sum,
-                    min: h.min,
-                    max: h.max,
-                }),
-            ));
-        }
-    });
+        snapshot_from(&s.counters, &s.gauges, &s.hists)
+    })
+}
+
+/// Build a [`MetricsSnapshot`] from raw slot-indexed value vectors
+/// (a thread sink, or a published copy of one), resolving names through
+/// the registry.
+pub(crate) fn snapshot_from(
+    counters: &[u64],
+    gauges: &[f64],
+    hists: &[HistData],
+) -> MetricsSnapshot {
+    let r = REGISTRY.lock().unwrap();
+    let mut metrics: Vec<(String, MetricValue)> = Vec::new();
+    for (i, name) in r.counters.iter().enumerate() {
+        let v = counters.get(i).copied().unwrap_or(0);
+        metrics.push((name.to_string(), MetricValue::Counter(v)));
+    }
+    for (i, name) in r.gauges.iter().enumerate() {
+        let v = gauges.get(i).copied().unwrap_or(0.0);
+        metrics.push((name.to_string(), MetricValue::Gauge(v)));
+    }
+    for (i, (name, bounds)) in r.hists.iter().enumerate() {
+        let h = hists.get(i).cloned().unwrap_or_default();
+        let counts = if h.counts.is_empty() {
+            vec![0; bounds.len() + 1]
+        } else {
+            h.counts
+        };
+        metrics.push((
+            name.to_string(),
+            MetricValue::Histogram(HistSnapshot {
+                bounds: bounds.to_vec(),
+                counts,
+                count: h.count,
+                sum: h.sum,
+                min: h.min,
+                max: h.max,
+            }),
+        ));
+    }
     metrics.sort_by(|a, b| a.0.cmp(&b.0));
     MetricsSnapshot { metrics }
 }
@@ -681,6 +721,41 @@ mod tests {
         assert_eq!(single.quantile_est(0.0), 7.0);
         assert_eq!(single.quantile_est(0.5), 7.0);
         assert_eq!(single.quantile_est(1.0), 7.0);
+    }
+
+    #[test]
+    fn same_name_handles_share_a_slot() {
+        // Registration is idempotent: a second handle for the same name
+        // must resolve to the same slot (now via the hash-map index), so
+        // counts recorded through either handle accumulate together.
+        let c1 = counter("test.shared.counter");
+        let c2 = counter("test.shared.counter");
+        assert_eq!(c1.slot, c2.slot);
+        let g1 = gauge("test.shared.gauge");
+        let g2 = gauge("test.shared.gauge");
+        assert_eq!(g1.slot, g2.slot);
+        let h1 = histogram("test.shared.hist", Buckets::explicit(&[1.0, 2.0]));
+        let h2 = histogram("test.shared.hist", Buckets::explicit(&[9.0])); // layout ignored
+        assert_eq!(h1.slot, h2.slot);
+        assert_eq!(h1.bounds(), h2.bounds(), "first registration wins");
+
+        crate::reset_thread_metrics();
+        c1.add(2);
+        c2.add(3);
+        assert_eq!(c1.get(), 5);
+        g1.set(1.0);
+        g2.add(0.5);
+        assert_eq!(g1.get(), 1.5);
+        h1.record(0.5);
+        h2.record(1.5);
+        let snap = snapshot();
+        let Some(MetricValue::Histogram(hs)) = snap.get("test.shared.hist") else {
+            panic!("histogram missing from snapshot");
+        };
+        assert_eq!(hs.count, 2);
+        assert_eq!(hs.counts, vec![1, 1, 0]);
+        // Distinct names must not collide.
+        assert_ne!(counter("test.shared.counter2").slot, c1.slot);
     }
 
     #[test]

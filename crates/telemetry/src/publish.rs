@@ -1,0 +1,225 @@
+//! Cross-thread publication of thread-local metrics for live scraping.
+//!
+//! Metric values live in plain non-atomic thread-locals (see
+//! [`crate::sink`]), so another thread — an exposition server answering
+//! `GET /metrics` — cannot read them directly. Instead, instrumented
+//! loops call [`publish_thread`] at a natural cadence (once per train
+//! step, once per MFP iteration): it copies the thread's raw slot-indexed
+//! values into a shared per-rank slot that scrapers merge on demand.
+//!
+//! Publication is keyed by the thread's rank tag (untagged threads — the
+//! CLI main thread — use a reserved key), so a P-rank solve occupies at
+//! most P+1 slots regardless of how many runs the process has hosted.
+//! A warm publish reuses the slot's buffers: it is two short lock
+//! acquisitions and a few memcpys, no allocation once layouts stabilise.
+
+use crate::metrics::{snapshot_from, HistData, MetricsSnapshot};
+use crate::series::{SeriesData, SeriesSnapshot};
+use crate::sink::SINK;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Arc, LazyLock, Mutex};
+
+/// Published key for threads without a rank tag (the process main
+/// thread, in practice).
+const MAIN_KEY: usize = usize::MAX;
+
+#[derive(Default)]
+struct PublishedSink {
+    counters: Vec<u64>,
+    gauges: Vec<f64>,
+    hists: Vec<HistData>,
+    series: Vec<SeriesData>,
+}
+
+static PUBLISHED: LazyLock<Mutex<HashMap<usize, Arc<Mutex<PublishedSink>>>>> =
+    LazyLock::new(|| Mutex::new(HashMap::new()));
+
+thread_local! {
+    // Cache of (key, slot) so a warm publish skips the global map.
+    static PUB_SLOT: RefCell<Option<(usize, Arc<Mutex<PublishedSink>>)>> = const { RefCell::new(None) };
+}
+
+fn copy_u64(dst: &mut Vec<u64>, src: &[u64]) {
+    if dst.len() != src.len() {
+        dst.resize(src.len(), 0);
+    }
+    dst.copy_from_slice(src);
+}
+
+fn copy_f64(dst: &mut Vec<f64>, src: &[f64]) {
+    if dst.len() != src.len() {
+        dst.resize(src.len(), 0.0);
+    }
+    dst.copy_from_slice(src);
+}
+
+fn copy_hists(dst: &mut Vec<HistData>, src: &[HistData]) {
+    if dst.len() != src.len() {
+        dst.resize_with(src.len(), HistData::default);
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        if d.counts.len() != s.counts.len() {
+            d.counts.resize(s.counts.len(), 0);
+        }
+        d.counts.copy_from_slice(&s.counts);
+        d.count = s.count;
+        d.sum = s.sum;
+        d.min = s.min;
+        d.max = s.max;
+    }
+}
+
+fn copy_series(dst: &mut Vec<SeriesData>, src: &[SeriesData]) {
+    if dst.len() != src.len() {
+        dst.resize_with(src.len(), SeriesData::default);
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        if d.windows.len() != s.windows.len() {
+            d.windows.resize_with(s.windows.len(), Default::default);
+        }
+        d.windows.copy_from_slice(&s.windows);
+    }
+}
+
+/// Copy the current thread's metric values into its shared per-rank
+/// slot, making them visible to [`merged_snapshot`] and friends. No-op
+/// for a thread that has recorded nothing yet. Call this at a loop
+/// cadence (per step / per iteration); a warm call does not allocate.
+pub fn publish_thread() {
+    SINK.with(|s| {
+        let s = s.borrow();
+        if s.counters.is_empty() && s.gauges.is_empty() && s.hists.is_empty() && s.series.is_empty()
+        {
+            return;
+        }
+        let key = s.rank.unwrap_or(MAIN_KEY);
+        PUB_SLOT.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            let stale = !matches!(&*cache, Some((k, _)) if *k == key);
+            if stale {
+                let slot = Arc::clone(PUBLISHED.lock().unwrap().entry(key).or_default());
+                *cache = Some((key, slot));
+            }
+            let (_, slot) = cache.as_ref().unwrap();
+            let mut p = slot.lock().unwrap();
+            copy_u64(&mut p.counters, &s.counters);
+            copy_f64(&mut p.gauges, &s.gauges);
+            copy_hists(&mut p.hists, &s.hists);
+            copy_series(&mut p.series, &s.series);
+        });
+    });
+}
+
+fn slots() -> Vec<(usize, Arc<Mutex<PublishedSink>>)> {
+    let mut v: Vec<_> = PUBLISHED
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, s)| (*k, Arc::clone(s)))
+        .collect();
+    v.sort_by_key(|(k, _)| *k);
+    v
+}
+
+/// Every published rank's metrics, ordered by rank (`None` labels the
+/// untagged main thread).
+pub fn per_rank_snapshots() -> Vec<(Option<usize>, MetricsSnapshot)> {
+    slots()
+        .into_iter()
+        .map(|(k, slot)| {
+            let p = slot.lock().unwrap();
+            let snap = snapshot_from(&p.counters, &p.gauges, &p.hists);
+            (if k == MAIN_KEY { None } else { Some(k) }, snap)
+        })
+        .collect()
+}
+
+/// One snapshot folding every published rank together (counters and
+/// histogram buckets sum, gauges take the max). This is what a scrape
+/// serves.
+pub fn merged_snapshot() -> MetricsSnapshot {
+    let mut merged = MetricsSnapshot::default();
+    for (_, snap) in per_rank_snapshots() {
+        merged.merge(&snap);
+    }
+    merged
+}
+
+/// Every registered series, with all published ranks' rings folded
+/// together (window-id aligned).
+pub fn merged_series() -> Vec<SeriesSnapshot> {
+    let names = crate::metrics::series_names();
+    let mut out: Vec<SeriesSnapshot> = names
+        .iter()
+        .map(|n| SeriesSnapshot {
+            name: n.to_string(),
+            windows: Vec::new(),
+        })
+        .collect();
+    for (_, slot) in slots() {
+        let p = slot.lock().unwrap();
+        for (i, name) in names.iter().enumerate() {
+            if let Some(d) = p.series.get(i) {
+                out[i].merge(&crate::series::snapshot_data(name, d));
+            }
+        }
+    }
+    out
+}
+
+/// The merged ring of one named series, if it has been registered.
+pub fn published_series(name: &str) -> Option<SeriesSnapshot> {
+    merged_series().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{counter, gauge, series};
+
+    #[test]
+    fn published_values_are_visible_to_other_threads() {
+        let c = counter("test.publish.counter");
+        let g = gauge("test.publish.gauge");
+        let sr = series("test.publish.series");
+        std::thread::spawn(move || {
+            crate::set_thread_rank(91);
+            c.add(4);
+            g.set(2.5);
+            sr.record(1.0);
+            publish_thread();
+        })
+        .join()
+        .unwrap();
+        let merged = merged_snapshot();
+        assert_eq!(merged.counter("test.publish.counter"), 4);
+        assert_eq!(merged.gauge("test.publish.gauge"), 2.5);
+        let per_rank = per_rank_snapshots();
+        assert!(per_rank.iter().any(|(r, _)| *r == Some(91)));
+        let ring = published_series("test.publish.series").expect("series registered");
+        assert_eq!(ring.windows.iter().map(|w| w.count).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn republishing_overwrites_the_rank_slot() {
+        let c = counter("test.publish.overwrite");
+        for val in [3u64, 8u64] {
+            std::thread::spawn(move || {
+                crate::set_thread_rank(92);
+                c.add(val);
+                publish_thread();
+            })
+            .join()
+            .unwrap();
+        }
+        // Two threads shared rank key 92; the later publish replaced the
+        // earlier one rather than stacking a second slot.
+        let hits: Vec<u64> = per_rank_snapshots()
+            .into_iter()
+            .filter(|(r, _)| *r == Some(92))
+            .map(|(_, s)| s.counter("test.publish.overwrite"))
+            .collect();
+        assert_eq!(hits, vec![8]);
+    }
+}

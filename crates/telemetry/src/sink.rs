@@ -18,6 +18,7 @@ pub(crate) struct ThreadSink {
     pub counters: Vec<u64>,
     pub gauges: Vec<f64>,
     pub hists: Vec<crate::metrics::HistData>,
+    pub series: Vec<crate::series::SeriesData>,
     pub spans: Vec<SpanEvent>,
     pub flows: Vec<FlowEvent>,
     pub depth: u32,
@@ -30,6 +31,7 @@ impl ThreadSink {
             counters: Vec::new(),
             gauges: Vec::new(),
             hists: Vec::new(),
+            series: Vec::new(),
             spans: Vec::new(),
             flows: Vec::new(),
             depth: 0,
@@ -60,6 +62,9 @@ pub fn thread_rank() -> Option<usize> {
 /// stamping them with the thread's rank. Called by the cluster when a
 /// rank thread finishes; cheap (no lock) when no spans were recorded.
 pub fn flush_thread() {
+    // Leave the thread's final metric values visible to live scrapes
+    // before the thread (e.g. a finished rank) goes away.
+    crate::publish::publish_thread();
     let (rank, spans, flows) = SINK.with(|s| {
         let mut s = s.borrow_mut();
         (
@@ -125,6 +130,7 @@ pub fn reset_thread_metrics() {
         s.counters.iter_mut().for_each(|v| *v = 0);
         s.gauges.iter_mut().for_each(|v| *v = 0.0);
         s.hists.iter_mut().for_each(|h| h.reset());
+        s.series.iter_mut().for_each(|d| d.windows.clear());
     });
 }
 

@@ -150,7 +150,10 @@ pub fn local_gradients(
             let bound = net.params.bind(g);
             let ld = data_loss(g, net, &bound, batch);
             stats.data_loss = g.value(ld).item();
-            let dgrads = g.grad(ld, bound.all_vars());
+            let dgrads = {
+                mf_profile::zone!("vjp_data");
+                g.grad(ld, bound.all_vars())
+            };
             let data_grads: Vec<Tensor> = dgrads.iter().map(|&v| g.value(v).clone()).collect();
             stats.graph_nodes += g.len();
             stats.graph_bytes += g.bytes_allocated();
@@ -166,7 +169,10 @@ pub fn local_gradients(
             let lp = pde_loss(g, net, &bound, batch);
             let lp = g.scale(lp, pde_weight);
             stats.pde_loss = g.value(lp).item();
-            let pgrads = g.grad(lp, bound.all_vars());
+            let pgrads = {
+                mf_profile::zone!("vjp_pde");
+                g.grad(lp, bound.all_vars())
+            };
             let pde_grads: Vec<Tensor> = pgrads.iter().map(|&v| g.value(v).clone()).collect();
             stats.graph_nodes += g.len();
             stats.graph_bytes += g.bytes_allocated();
@@ -291,6 +297,9 @@ pub fn train_step_single(
         let _t = m.opt_us.time();
         opt.step(net.params.tensors_mut(), &grads, lr);
     }
+    // Make this step's metrics visible to a live /metrics scrape
+    // (a warm publish does not allocate).
+    mf_telemetry::publish_thread();
     stats
 }
 
@@ -352,6 +361,7 @@ pub fn train_step_distributed(
         let _t = m.opt_us.time();
         opt.step(net.params.tensors_mut(), &grads, lr);
     }
+    mf_telemetry::publish_thread();
     stats
 }
 

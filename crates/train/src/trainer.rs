@@ -269,6 +269,9 @@ pub fn train_single(
             dl += stats.data_loss;
             pl += stats.pde_loss;
             global_step += 1;
+            // Make this step's metrics visible to a live /metrics scrape
+            // (a warm publish does not allocate).
+            mf_telemetry::publish_thread();
         }
         let epoch_secs = t0.elapsed().as_secs_f64();
         train_seconds += epoch_secs;
@@ -286,6 +289,19 @@ pub fn train_single(
                 "{}",
                 mf_observe::train_watch_report(epoch, &losses, &[step_secs_hist.clone()])
             );
+            // Per-kernel VJP throughput from the profiler's time-series ring.
+            for name in ["prof.vjp_data_us", "prof.vjp_pde_us"] {
+                if let Some(s) = mf_telemetry::published_series(name) {
+                    eprint!(
+                        "{}",
+                        mf_observe::series_rate_line(
+                            name,
+                            s.rate_per_sec(10),
+                            &s.recent_counts(30)
+                        )
+                    );
+                }
+            }
         }
     }
     logs
@@ -466,6 +482,9 @@ pub fn train_ddp_resumable(
                 dl += stats.data_loss;
                 pl += stats.pde_loss;
                 global_step += 1;
+                // Make this step's metrics visible to a live /metrics
+                // scrape (a warm publish does not allocate).
+                mf_telemetry::publish_thread();
                 if let Some(ck) = ckpt {
                     if global_step.is_multiple_of(ck.every_steps) {
                         let state = TrainState {
@@ -513,6 +532,21 @@ pub fn train_ddp_resumable(
                         "{}",
                         mf_observe::train_watch_report(epoch, &losses, &step_secs_per_rank)
                     );
+                    // Per-kernel VJP throughput from the published
+                    // time-series rings (all ranks merged; reading the
+                    // publication slots sends no messages).
+                    for name in ["prof.vjp_data_us", "prof.vjp_pde_us"] {
+                        if let Some(s) = mf_telemetry::published_series(name) {
+                            eprint!(
+                                "{}",
+                                mf_observe::series_rate_line(
+                                    name,
+                                    s.rate_per_sec(10),
+                                    &s.recent_counts(30)
+                                )
+                            );
+                        }
+                    }
                 }
             }
         }

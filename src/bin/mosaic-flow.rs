@@ -26,7 +26,14 @@
 //!   selects the JSON-Lines format instead. Distributed runs include
 //!   cross-rank flow events connecting each send to its receive.
 //! * `--watch` — periodic rendered progress reports (loss curve,
-//!   step-time sparklines, residual heatmap) on stderr.
+//!   step-time sparklines, residual heatmap, live series rates) on
+//!   stderr.
+//! * `--metrics-addr HOST:PORT` (or `MF_METRICS_ADDR`) — serve live
+//!   metrics over HTTP while the command runs: `GET /metrics` is
+//!   OpenMetrics text, `GET /snapshot` is per-rank JSON.
+//! * `--profile off` — disable the continuous profiler's zone timers
+//!   (also `MF_PROFILE=off`); they are on by default and cost ≤3% (CI
+//!   gated).
 //! * `MF_OBSERVE=dump[:DIR]|watch|off` — enable post-mortem bundles on
 //!   failure (`dump`), watch mode, or disable the flight recorder.
 
@@ -78,10 +85,14 @@ fn usage() -> ExitCode {
                [--fault-seed N] [--drop-rate R] [--crash-rank K [--crash-after S]]\n\
          \n\
          observability (any subcommand):\n\
-           --metrics        print a telemetry summary to stderr at exit\n\
-           --trace PATH     write a Chrome trace_event JSON (.jsonl for JSON-Lines)\n\
-           --watch          periodic rendered progress reports on stderr\n\
-           MF_OBSERVE=...   dump[:DIR] post-mortem bundles | watch | off (recorder)"
+           --metrics            print a telemetry summary to stderr at exit\n\
+           --metrics-addr H:P   serve GET /metrics (OpenMetrics) and /snapshot (JSON)\n\
+           --trace PATH         write a Chrome trace_event JSON (.jsonl for JSON-Lines)\n\
+           --watch              periodic rendered progress reports on stderr\n\
+           --profile off        disable the zone profiler (on by default)\n\
+           MF_OBSERVE=...       dump[:DIR] post-mortem bundles | watch | off (recorder)\n\
+           MF_METRICS_ADDR=H:P  same as --metrics-addr\n\
+           MF_PROFILE=off       same as --profile off"
     );
     ExitCode::FAILURE
 }
@@ -449,6 +460,15 @@ fn main() -> ExitCode {
     // MF_OBSERVE configures post-mortem bundles / watch mode / recorder
     // off; the flags below layer on top of it.
     mosaic_flow::observe::init_from_env();
+    mosaic_flow::profile::init_from_env();
+    if flags.get("profile").map(String::as_str) == Some("off") {
+        mosaic_flow::profile::set_enabled(false);
+    }
+    // Live exposition: keep the server alive for the whole command; it
+    // merges whatever the rank threads have published on each scrape.
+    let _metrics_server = mosaic_flow::profile::MetricsServer::from_flag_or_env(
+        flags.get("metrics-addr").map(String::as_str),
+    );
     let trace_path = flags.get("trace").cloned();
     if trace_path.is_some() {
         mosaic_flow::telemetry::set_tracing(true);

@@ -36,6 +36,7 @@ pub use mf_nn as nn;
 pub use mf_numerics as numerics;
 pub use mf_observe as observe;
 pub use mf_opt as opt;
+pub use mf_profile as profile;
 pub use mf_telemetry as telemetry;
 pub use mf_tensor as tensor;
 pub use mf_train as train;

@@ -233,3 +233,70 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Telemetry histogram quantile estimation.
+// ---------------------------------------------------------------------------
+
+/// Build the `HistSnapshot` a telemetry histogram with layout `buckets`
+/// would freeze after observing `samples`.
+fn hist_from_samples(
+    buckets: &mosaic_flow::telemetry::Buckets,
+    samples: &[f64],
+) -> mosaic_flow::telemetry::HistSnapshot {
+    let bounds = buckets.bounds().to_vec();
+    let mut counts = vec![0u64; bounds.len() + 1];
+    for &v in samples {
+        counts[buckets.bucket_index(v)] += 1;
+    }
+    mosaic_flow::telemetry::HistSnapshot {
+        bounds,
+        counts,
+        count: samples.len() as u64,
+        sum: samples.iter().sum(),
+        min: samples.iter().cloned().fold(f64::INFINITY, f64::min),
+        max: samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `HistSnapshot::quantile_est` against ground truth: for any sample
+    /// set and any of the gate's quantiles, the interpolated estimate
+    /// must stay inside the bucket that actually contains the exact
+    /// sorted-sample quantile (clamped to the observed `[min, max]`) —
+    /// the tightest guarantee a log-bucketed histogram can make.
+    #[test]
+    fn quantile_est_lands_in_the_exact_quantiles_bucket(
+        raw in prop::collection::vec(0.1f64..5_000.0, 96),
+        n in 1usize..96,
+        layout in 0usize..3,
+    ) {
+        use mosaic_flow::telemetry::Buckets;
+        let buckets = match layout {
+            0 => Buckets::latency_us(),
+            1 => Buckets::exponential(0.5, 3.0, 8),
+            _ => Buckets::explicit(&[1.0, 10.0, 100.0, 1000.0]),
+        };
+        let samples = &raw[..n];
+        let snap = hist_from_samples(&buckets, samples);
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = sorted.len();
+        for q in [0.5f64, 0.95, 0.99] {
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let exact = sorted[rank - 1];
+            let est = snap.quantile_est(q);
+            // The estimate may never stray outside the observed range...
+            prop_assert!(est >= snap.min && est <= snap.max,
+                "q={q}: est {est} outside [{}, {}]", snap.min, snap.max);
+            // ...and must fall inside the exact quantile's bucket.
+            let b = buckets.bucket_index(exact);
+            let lo = if b == 0 { snap.min } else { buckets.bounds()[b - 1].max(snap.min) };
+            let hi = buckets.bounds().get(b).copied().unwrap_or(snap.max).min(snap.max);
+            prop_assert!(est >= lo && est <= hi.max(lo),
+                "q={q}: est {est} outside bucket {b} [{lo}, {hi}] containing exact {exact}");
+        }
+    }
+}
